@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the workload generators: materializing the
+//! group-structured universe, sampling synthetic streams, and generating
+//! query-log days — the fixed costs every experiment pays before measuring
+//! the estimators themselves.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opthash_datagen::groups::{GroupConfig, GroupDataset};
+use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
+use opthash_datagen::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_generator");
+    group.sample_size(10);
+    for &g in &[8usize, 10] {
+        group.bench_with_input(BenchmarkId::new("materialize", g), &g, |b, &g| {
+            b.iter(|| black_box(GroupDataset::generate(GroupConfig::with_groups(g))));
+        });
+    }
+    let dataset = GroupDataset::generate(GroupConfig::with_groups(10));
+    group.bench_function("sample_10k_arrivals", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(dataset.generate_stream(10_000, seed))
+        });
+    });
+    group.finish();
+}
+
+fn bench_querylog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("querylog_generator");
+    group.sample_size(10);
+    group.bench_function("materialize_20k_queries", |b| {
+        b.iter(|| {
+            black_box(QueryLogDataset::generate(QueryLogConfig {
+                num_queries: 20_000,
+                days: 5,
+                arrivals_per_day: 1_000,
+                ..QueryLogConfig::default()
+            }))
+        });
+    });
+    let log = QueryLogDataset::generate(QueryLogConfig {
+        num_queries: 20_000,
+        days: 5,
+        arrivals_per_day: 20_000,
+        ..QueryLogConfig::default()
+    });
+    group.bench_function("one_day_stream", |b| {
+        let mut day = 0usize;
+        b.iter(|| {
+            day = (day + 1) % 5;
+            black_box(log.day_stream(day))
+        });
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let sampler = ZipfSampler::new(100_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_groups, bench_querylog, bench_zipf);
+criterion_main!(benches);

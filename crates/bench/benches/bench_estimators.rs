@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the end-to-end estimators: training time of
+//! `opt-hash`, stream-processing (update) throughput and point-query
+//! (estimate) latency of the static and adaptive variants, compared with the
+//! Count-Min baseline — supporting the paper's claim that update and query
+//! times are constant once training is done.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opthash::{AdaptiveOptHash, OptHash, OptHashBuilder, SolverKind};
+use opthash_datagen::groups::{GroupConfig, GroupDataset};
+use opthash_sketch::CountMinSketch;
+use opthash_stream::{FrequencyEstimator, StreamElement, StreamPrefix};
+
+fn setup(groups: usize) -> (GroupDataset, StreamPrefix, Vec<StreamElement>) {
+    let dataset = GroupDataset::generate(GroupConfig::with_groups(groups));
+    let (prefix_stream, continuation) = dataset.generate_experiment_streams(1);
+    let prefix = StreamPrefix::from_stream(prefix_stream);
+    let arrivals: Vec<StreamElement> = continuation.into_iter().collect();
+    (dataset, prefix, arrivals)
+}
+
+fn train(prefix: &StreamPrefix, buckets: usize) -> OptHash {
+    OptHashBuilder::new(buckets)
+        .lambda(1.0)
+        .solver(SolverKind::Dp)
+        .train(prefix)
+}
+
+fn train_adaptive(prefix: &StreamPrefix, buckets: usize) -> AdaptiveOptHash {
+    OptHashBuilder::new(buckets)
+        .lambda(1.0)
+        .solver(SolverKind::Dp)
+        .train_adaptive(prefix, 1 << 14)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_hash_training");
+    group.sample_size(10);
+    for &groups in &[6usize, 8] {
+        let (_, prefix, _) = setup(groups);
+        group.bench_with_input(BenchmarkId::new("dp_lambda1", groups), &groups, |b, _| {
+            b.iter(|| black_box(train(&prefix, 16)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let (_, prefix, arrivals) = setup(8);
+    let mut group = c.benchmark_group("update_throughput");
+    group.bench_function("opt_hash", |b| {
+        let mut estimator = train(&prefix, 16);
+        let mut i = 0;
+        b.iter(|| {
+            estimator.update(&arrivals[i % arrivals.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("opt_hash_adaptive", |b| {
+        let mut estimator = train_adaptive(&prefix, 16);
+        let mut i = 0;
+        b.iter(|| {
+            estimator.update(&arrivals[i % arrivals.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("count_min", |b| {
+        let mut cms = CountMinSketch::with_total_buckets(1_000, 4, 1);
+        let mut i = 0;
+        b.iter(|| {
+            cms.update(&arrivals[i % arrivals.len()]);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (_, prefix, arrivals) = setup(8);
+    let mut group = c.benchmark_group("query_latency");
+    group.bench_function("opt_hash_seen", |b| {
+        let estimator = train(&prefix, 16);
+        let stored: Vec<&StreamElement> = arrivals
+            .iter()
+            .filter(|e| estimator.is_stored(e.id))
+            .collect();
+        let mut i = 0;
+        b.iter(|| {
+            black_box(estimator.estimate(stored[i % stored.len()]));
+            i += 1;
+        });
+    });
+    group.bench_function("opt_hash_unseen_via_classifier", |b| {
+        let estimator = train(&prefix, 16);
+        let unseen: Vec<&StreamElement> = arrivals
+            .iter()
+            .filter(|e| !estimator.is_stored(e.id))
+            .collect();
+        let mut i = 0;
+        b.iter(|| {
+            black_box(estimator.estimate(unseen[i % unseen.len()]));
+            i += 1;
+        });
+    });
+    group.bench_function("count_min", |b| {
+        let mut cms = CountMinSketch::with_total_buckets(1_000, 4, 1);
+        for e in &arrivals {
+            cms.update(e);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            black_box(cms.estimate(&arrivals[i % arrivals.len()]));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the classifier substrate: training and
+//! prediction cost of logistic regression, CART and random forest on
+//! bucket-routing datasets of the size the synthetic experiments produce.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opthash_ml::{
+    CartConfig, DecisionTree, ForestConfig, LogRegConfig, LogisticRegression, RandomForest,
+    Dataset,
+};
+
+/// A synthetic bucket-routing dataset: `classes` clusters in 2-D.
+fn dataset(examples: usize, classes: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(examples);
+    let mut labels = Vec::with_capacity(examples);
+    let mut state = 17u64;
+    for i in 0..examples {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let class = i % classes;
+        let jitter = (state % 100) as f64 / 100.0;
+        rows.push(vec![class as f64 * 3.0 + jitter, (class % 3) as f64 * 2.0 - jitter]);
+        labels.push(class);
+    }
+    Dataset::from_rows(rows, labels)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier_fit");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let data = dataset(n, 10);
+        group.bench_with_input(BenchmarkId::new("logreg", n), &n, |b, _| {
+            b.iter(|| black_box(LogisticRegression::fit(&data, &LogRegConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("cart", n), &n, |b, _| {
+            b.iter(|| black_box(DecisionTree::fit(&data, &CartConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("rf", n), &n, |b, _| {
+            b.iter(|| black_box(RandomForest::fit(&data, &ForestConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = dataset(2_000, 10);
+    let logreg = LogisticRegression::fit(&data, &LogRegConfig::default());
+    let cart = DecisionTree::fit(&data, &CartConfig::default());
+    let rf = RandomForest::fit(&data, &ForestConfig::default());
+    let probe = vec![4.2, 1.7];
+
+    let mut group = c.benchmark_group("classifier_predict");
+    group.bench_function("logreg", |b| b.iter(|| black_box(logreg.predict(&probe))));
+    group.bench_function("cart", |b| b.iter(|| black_box(cart.predict(&probe))));
+    group.bench_function("rf", |b| b.iter(|| black_box(rf.predict(&probe))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

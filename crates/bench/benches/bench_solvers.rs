@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the optimization layer: scaling of the `dp`,
+//! `bcd` and exact (`milp`) solvers with the number of elements and buckets,
+//! plus the DP-strategy ablation (quadratic vs divide-and-conquer) called out
+//! in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opthash_solver::kmedian::{kmedian_dp_with, ClusterCost, DpStrategy};
+use opthash_solver::{BcdConfig, BcdSolver, ExactConfig, ExactSolver, HashingProblem};
+use opthash_stream::Features;
+
+/// Deterministic pseudo-random frequencies with a heavy tail.
+fn frequencies(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = (state % 1000) as f64 / 1000.0;
+            (1.0 / (r + 0.01)).min(500.0)
+        })
+        .collect()
+}
+
+fn features(n: usize, seed: u64) -> Vec<Features> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Features::new(vec![(state % 100) as f64 / 10.0, (state % 73) as f64 / 10.0])
+        })
+        .collect()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmedian_dp");
+    group.sample_size(20);
+    for &n in &[500usize, 2_000, 8_000] {
+        let values = frequencies(n, 3);
+        group.bench_with_input(BenchmarkId::new("divide_and_conquer", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(kmedian_dp_with(
+                    &values,
+                    32,
+                    ClusterCost::MeanAbs,
+                    DpStrategy::DivideAndConquer,
+                ))
+            });
+        });
+        if n <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("quadratic", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(kmedian_dp_with(
+                        &values,
+                        32,
+                        ClusterCost::MeanAbs,
+                        DpStrategy::Quadratic,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bcd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcd");
+    group.sample_size(10);
+    for &n in &[200usize, 800] {
+        let problem = HashingProblem::new(frequencies(n, 5), features(n, 7), 10, 0.5);
+        group.bench_with_input(BenchmarkId::new("lambda_0.5", n), &n, |b, _| {
+            let solver = BcdSolver::new(BcdConfig {
+                max_iterations: 10,
+                ..BcdConfig::default()
+            });
+            b.iter(|| black_box(solver.solve(&problem)));
+        });
+        let freq_only = HashingProblem::frequency_only(frequencies(n, 5), 10);
+        group.bench_with_input(BenchmarkId::new("lambda_1.0", n), &n, |b, _| {
+            let solver = BcdSolver::new(BcdConfig {
+                max_iterations: 10,
+                ..BcdConfig::default()
+            });
+            b.iter(|| black_box(solver.solve(&freq_only)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_branch_and_bound");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        let problem = HashingProblem::new(frequencies(n, 9), features(n, 11), 3, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let solver = ExactSolver::new(ExactConfig::default());
+            b.iter(|| black_box(solver.solve(&problem)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_bcd, bench_exact);
+criterion_main!(benches);

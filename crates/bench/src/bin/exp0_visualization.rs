@@ -1,0 +1,91 @@
+//! Experiment 0 (Figure 1): visualization data for the learned hash codes.
+//!
+//! Reproduces the four panels of Figure 1 as CSV: element groups, prefix
+//! frequencies (log scale), the learned hash code of elements that appeared
+//! in the prefix (bcd), and the hash code predicted for unseen elements
+//! (cart). Plotting is left to any external tool; the CSV has one row per
+//! element.
+
+use opthash::{OptHashBuilder, SolverKind};
+use opthash_bench::ExperimentTable;
+use opthash_datagen::groups::{GroupConfig, GroupDataset};
+use opthash_ml::ClassifierKind;
+use opthash_solver::BcdConfig;
+use opthash_stream::StreamPrefix;
+
+fn main() {
+    // Figure 1 setup: G = 10 groups, prefix of 1,000 arrivals, a third of
+    // each group eligible to appear in the prefix, 10 buckets.
+    let dataset = GroupDataset::generate(GroupConfig {
+        num_groups: 10,
+        fraction_seen: 0.33,
+        seed: 1,
+        ..GroupConfig::default()
+    });
+    let prefix_stream = dataset.generate_prefix(1_000, 2);
+    let prefix = StreamPrefix::from_stream(prefix_stream);
+    let estimator = OptHashBuilder::new(10)
+        .lambda(0.5)
+        .solver(SolverKind::Bcd(BcdConfig::default()))
+        .classifier(ClassifierKind::Cart)
+        .train(&prefix);
+
+    let mut table = ExperimentTable::new(
+        "exp0_visualization",
+        &[
+            "element_id",
+            "x0",
+            "x1",
+            "group",
+            "prefix_log_frequency",
+            "seen_in_prefix",
+            "bucket",
+        ],
+    );
+    for element in dataset.elements() {
+        let stream_element = dataset.stream_element(element.id).unwrap();
+        let seen = estimator.is_stored(element.id);
+        let freq = prefix.frequency_of(element.id);
+        let log_freq = if freq > 0 { (freq as f64).ln() } else { f64::NAN };
+        let bucket = estimator.bucket_of(&stream_element);
+        table.push_row(vec![
+            element.id.raw().to_string(),
+            format!("{:.4}", element.features[0]),
+            format!("{:.4}", element.features[1]),
+            element.group.to_string(),
+            if log_freq.is_nan() {
+                String::new()
+            } else {
+                format!("{log_freq:.4}")
+            },
+            (seen as u8).to_string(),
+            bucket.to_string(),
+        ]);
+    }
+
+    println!(
+        "Figure 1 data: {} elements, {} appeared in the prefix, hash codes over {} buckets.",
+        dataset.universe_size(),
+        prefix.distinct_len(),
+        estimator.buckets()
+    );
+    // Print a compact per-bucket summary instead of all rows.
+    let mut per_bucket = vec![(0usize, 0usize); estimator.buckets()];
+    for element in dataset.elements() {
+        let e = dataset.stream_element(element.id).unwrap();
+        let bucket = estimator.bucket_of(&e);
+        if estimator.is_stored(element.id) {
+            per_bucket[bucket].0 += 1;
+        } else {
+            per_bucket[bucket].1 += 1;
+        }
+    }
+    println!("bucket  seen_elements  unseen_elements_routed_here");
+    for (j, (seen, unseen)) in per_bucket.iter().enumerate() {
+        println!("{j:>6}  {seen:>13}  {unseen:>27}");
+    }
+    match table.write_csv() {
+        Ok(path) => println!("full per-element data written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

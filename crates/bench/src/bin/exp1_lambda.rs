@@ -1,0 +1,78 @@
+//! Experiment 1 (Figure 2): impact of the hyper-parameter λ for G = 6.
+//!
+//! Runs the three solvers (`milp` = exact branch-and-bound, `bcd`, `dp`) for
+//! λ ∈ {0, 0.2, …, 1} and reports the prefix estimation error, similarity
+//! error, overall error (absolute scale, as in the paper's Figure 2) and the
+//! elapsed learning time. The `dp` solver ignores λ by construction.
+
+use opthash::SolverKind;
+use opthash_bench::{mean_std, ExperimentTable, SyntheticWorkload};
+use opthash_solver::{BcdConfig, ExactConfig};
+use std::time::Duration;
+
+fn main() {
+    let repetitions = 3u64;
+    let lambdas = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut table = ExperimentTable::new(
+        "exp1_lambda",
+        &[
+            "lambda",
+            "solver",
+            "prefix_estimation_error",
+            "prefix_similarity_error",
+            "prefix_overall_error",
+            "elapsed_seconds",
+        ],
+    );
+
+    for &lambda in &lambdas {
+        let solvers: Vec<(&str, SolverKind, f64)> = vec![
+            (
+                "milp",
+                SolverKind::Exact(ExactConfig {
+                    max_nodes: 200_000,
+                    time_limit: Duration::from_secs(10),
+                    ..ExactConfig::default()
+                }),
+                lambda,
+            ),
+            ("bcd", SolverKind::Bcd(BcdConfig::default()), lambda),
+            // dp always optimizes the estimation error alone (λ = 1).
+            ("dp", SolverKind::Dp, 1.0),
+        ];
+        for (name, solver, solver_lambda) in solvers {
+            let mut est = Vec::new();
+            let mut sim = Vec::new();
+            let mut overall = Vec::new();
+            let mut time = Vec::new();
+            for rep in 0..repetitions {
+                let mut workload = SyntheticWorkload::new(6, solver_lambda, solver, rep);
+                workload.fraction_seen = 0.5;
+                let run = workload.run();
+                // Report the error terms under the *sweep's* λ so the three
+                // solvers are compared on the same objective, as in Figure 2.
+                est.push(run.prefix_estimation_error);
+                sim.push(run.prefix_similarity_error);
+                overall.push(lambda * run.prefix_estimation_error + (1.0 - lambda) * run.prefix_similarity_error);
+                time.push(run.elapsed_seconds);
+            }
+            let (est_mean, _) = mean_std(&est);
+            let (sim_mean, _) = mean_std(&sim);
+            let (overall_mean, _) = mean_std(&overall);
+            let (time_mean, _) = mean_std(&time);
+            table.push_row(vec![
+                format!("{lambda:.1}"),
+                name.to_owned(),
+                format!("{est_mean:.2}"),
+                format!("{sim_mean:.2}"),
+                format!("{overall_mean:.2}"),
+                format!("{time_mean:.3}"),
+            ]);
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

@@ -1,0 +1,60 @@
+//! Experiment 2 (Figure 3): `bcd` vs `dp` in the λ = 1 case.
+//!
+//! Sweeps the number of groups G (problem size grows exponentially in G) and
+//! reports per-element estimation error, per-pair similarity error, overall
+//! error and elapsed time for both solvers; `dp` is provably optimal here.
+
+use opthash::SolverKind;
+use opthash_bench::{mean_std, ExperimentTable, SyntheticWorkload};
+use opthash_solver::BcdConfig;
+
+fn main() {
+    let repetitions = 3u64;
+    let group_range = 4usize..=10;
+    let mut table = ExperimentTable::new(
+        "exp2_bcd_vs_dp",
+        &[
+            "num_groups",
+            "solver",
+            "prefix_estimation_error_per_element",
+            "prefix_similarity_error_per_pair",
+            "prefix_overall_error_per_element",
+            "elapsed_seconds",
+        ],
+    );
+
+    for num_groups in group_range {
+        for (name, solver) in [
+            ("bcd", SolverKind::Bcd(BcdConfig::default())),
+            ("dp", SolverKind::Dp),
+        ] {
+            let mut est = Vec::new();
+            let mut sim = Vec::new();
+            let mut time = Vec::new();
+            for rep in 0..repetitions {
+                let workload = SyntheticWorkload::new(num_groups, 1.0, solver, 100 + rep);
+                let run = workload.run();
+                est.push(run.prefix_estimation_error_per_element);
+                sim.push(run.prefix_similarity_error_per_pair);
+                time.push(run.elapsed_seconds);
+            }
+            let (est_mean, est_std) = mean_std(&est);
+            let (sim_mean, _) = mean_std(&sim);
+            let (time_mean, _) = mean_std(&time);
+            table.push_row(vec![
+                num_groups.to_string(),
+                name.to_owned(),
+                format!("{est_mean:.4} ± {est_std:.4}"),
+                format!("{sim_mean:.4}"),
+                // with λ = 1 the overall error equals the estimation error
+                format!("{est_mean:.4}"),
+                format!("{time_mean:.3}"),
+            ]);
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

@@ -1,0 +1,67 @@
+//! Experiment 3 (Figure 4): stability of `bcd` across random starting points
+//! for λ = 0.5.
+//!
+//! For each problem size G, block coordinate descent is run from several
+//! independent random initializations and the mean ± standard deviation of
+//! every error term is reported — small deviations demonstrate that the
+//! heuristic is robust to its initialization, the paper's takeaway.
+
+use opthash::SolverKind;
+use opthash_bench::{mean_std, ExperimentTable, SyntheticWorkload};
+use opthash_solver::BcdConfig;
+
+fn main() {
+    let starts = 5u64;
+    let group_range = 4usize..=10;
+    let mut table = ExperimentTable::new(
+        "exp3_multistart",
+        &[
+            "num_groups",
+            "prefix_estimation_error_per_element",
+            "prefix_similarity_error_per_pair",
+            "prefix_overall_error",
+            "elapsed_seconds",
+        ],
+    );
+
+    for num_groups in group_range {
+        let mut est = Vec::new();
+        let mut sim = Vec::new();
+        let mut overall = Vec::new();
+        let mut time = Vec::new();
+        for start in 0..starts {
+            let workload = SyntheticWorkload::new(
+                num_groups,
+                0.5,
+                SolverKind::Bcd(BcdConfig {
+                    seed: start,
+                    ..BcdConfig::default()
+                }),
+                // Same dataset seed for every start: only the initialization
+                // of the descent varies, which is what Figure 4 isolates.
+                7,
+            );
+            let run = workload.run();
+            est.push(run.prefix_estimation_error_per_element);
+            sim.push(run.prefix_similarity_error_per_pair);
+            overall.push(run.prefix_overall_error);
+            time.push(run.elapsed_seconds);
+        }
+        let fmt = |values: &[f64]| {
+            let (m, s) = mean_std(values);
+            format!("{m:.4} ± {s:.4}")
+        };
+        table.push_row(vec![
+            num_groups.to_string(),
+            fmt(&est),
+            fmt(&sim),
+            fmt(&overall),
+            fmt(&time),
+        ]);
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

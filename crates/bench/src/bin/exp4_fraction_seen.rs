@@ -1,0 +1,60 @@
+//! Experiment 4 (Figure 5): impact of the fraction of elements seen in the
+//! prefix (`g0`) for G = 10.
+//!
+//! Compares `bcd` (λ = 0.5) with `dp` (λ = 1) as `g0` varies, reporting the
+//! errors both on the prefix and on elements that did not appear in the
+//! prefix but did appear within `|S| = 10·|S0|` further arrivals.
+
+use opthash::SolverKind;
+use opthash_bench::{mean_std, ExperimentTable, SyntheticWorkload};
+use opthash_solver::BcdConfig;
+
+fn main() {
+    let repetitions = 3u64;
+    let fractions = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut table = ExperimentTable::new(
+        "exp4_fraction_seen",
+        &[
+            "fraction_seen",
+            "solver",
+            "prefix_estimation_error_per_element",
+            "prefix_similarity_error_per_pair",
+            "unseen_estimation_error",
+            "unseen_similarity_error",
+        ],
+    );
+
+    for &fraction in &fractions {
+        for (name, solver, lambda) in [
+            ("bcd", SolverKind::Bcd(BcdConfig::default()), 0.5),
+            ("dp", SolverKind::Dp, 1.0),
+        ] {
+            let mut prefix_est = Vec::new();
+            let mut prefix_sim = Vec::new();
+            let mut unseen_est = Vec::new();
+            let mut unseen_sim = Vec::new();
+            for rep in 0..repetitions {
+                let mut workload = SyntheticWorkload::new(10, lambda, solver, 200 + rep);
+                workload.fraction_seen = fraction;
+                let run = workload.run();
+                prefix_est.push(run.prefix_estimation_error_per_element);
+                prefix_sim.push(run.prefix_similarity_error_per_pair);
+                unseen_est.push(run.unseen_estimation_error);
+                unseen_sim.push(run.unseen_similarity_error);
+            }
+            table.push_row(vec![
+                format!("{fraction:.1}"),
+                name.to_owned(),
+                format!("{:.4}", mean_std(&prefix_est).0),
+                format!("{:.4}", mean_std(&prefix_sim).0),
+                format!("{:.4}", mean_std(&unseen_est).0),
+                format!("{:.4}", mean_std(&unseen_sim).0),
+            ]);
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

@@ -1,0 +1,64 @@
+//! Experiment 5 (Figure 6): comparison between classification methods for
+//! unseen elements (logreg vs cart vs rf), with g0 = 0.33 and λ = 0.5.
+//!
+//! Reports the estimation, similarity and overall error on elements that did
+//! not appear in the prefix but did appear within `10·|S0|` further arrivals,
+//! plus the end-to-end learning time.
+
+use opthash::SolverKind;
+use opthash_bench::{mean_std, ExperimentTable, SyntheticWorkload};
+use opthash_ml::ClassifierKind;
+use opthash_solver::BcdConfig;
+
+fn main() {
+    let repetitions = 3u64;
+    let group_range = 4usize..=9;
+    let mut table = ExperimentTable::new(
+        "exp5_classifiers",
+        &[
+            "num_groups",
+            "classifier",
+            "unseen_estimation_error",
+            "unseen_similarity_error",
+            "unseen_overall_error",
+            "elapsed_seconds",
+        ],
+    );
+
+    for num_groups in group_range {
+        for classifier in ClassifierKind::all() {
+            let mut est = Vec::new();
+            let mut sim = Vec::new();
+            let mut overall = Vec::new();
+            let mut time = Vec::new();
+            for rep in 0..repetitions {
+                let mut workload = SyntheticWorkload::new(
+                    num_groups,
+                    0.5,
+                    SolverKind::Bcd(BcdConfig::default()),
+                    300 + rep,
+                );
+                workload.fraction_seen = 0.33;
+                workload.classifier = classifier;
+                let run = workload.run();
+                est.push(run.unseen_estimation_error);
+                sim.push(run.unseen_similarity_error);
+                overall.push(run.unseen_overall_error);
+                time.push(run.elapsed_seconds);
+            }
+            table.push_row(vec![
+                num_groups.to_string(),
+                classifier.name().to_owned(),
+                format!("{:.4}", mean_std(&est).0),
+                format!("{:.4}", mean_std(&sim).0),
+                format!("{:.4}", mean_std(&overall).0),
+                format!("{:.3}", mean_std(&time).0),
+            ]);
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

@@ -1,0 +1,53 @@
+//! Experiment 6 (Figure 7): estimation error as a function of the
+//! estimator's size (in KB) on the query log, evaluated after two snapshot
+//! days (the paper uses days 30 and 70).
+//!
+//! For every size the three methods are compared: `opt-hash`, the Learned
+//! Count-Min Sketch with an ideal heavy-hitter oracle (`heavy-hitter`, best
+//! hyper-parameters) and the Count-Min Sketch (`count-min`, best depth).
+//!
+//! Set `OPTHASH_SCALE=full` for the paper-scale log (90 days, 120 KB point).
+
+use opthash_bench::{ExperimentTable, QueryLogHarness, QueryLogScale};
+use opthash_stream::SpaceBudget;
+
+fn main() {
+    let scale = QueryLogScale::from_env();
+    let (day_a, day_b) = scale.snapshot_days();
+    println!("scale: {scale:?}; evaluating after days {day_a} and {day_b}");
+
+    let mut table = ExperimentTable::new(
+        "exp6_error_vs_size",
+        &[
+            "size_kb",
+            "day",
+            "method",
+            "average_absolute_error",
+            "expected_absolute_error",
+        ],
+    );
+
+    for &size_kb in &scale.sizes_kb() {
+        // A fresh harness per size keeps the runs independent (fresh RNG for
+        // the baselines) while the underlying log stays identical (same seed).
+        let mut harness = QueryLogHarness::new(scale, 17);
+        let budget = SpaceBudget::from_kb(size_kb);
+        let results = harness.run_budget(budget, 0.3, &[day_a, day_b]);
+        for (day, methods) in results {
+            for m in methods {
+                table.push_row(vec![
+                    format!("{size_kb}"),
+                    day.to_string(),
+                    m.method,
+                    format!("{:.2}", m.average_error),
+                    format!("{:.2}", m.expected_error),
+                ]);
+            }
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

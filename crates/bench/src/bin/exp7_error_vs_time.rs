@@ -1,0 +1,56 @@
+//! Experiment 7 (Figure 8): estimation error as a function of time (in days)
+//! for two memory configurations (the paper uses 4 KB and 120 KB).
+//!
+//! Set `OPTHASH_SCALE=full` for the paper-scale log; the quick scale uses
+//! 4 KB and 40 KB over 40 days.
+
+use opthash_bench::{ExperimentTable, QueryLogHarness, QueryLogScale};
+use opthash_stream::SpaceBudget;
+
+fn main() {
+    let scale = QueryLogScale::from_env();
+    let sizes: Vec<f64> = match scale {
+        QueryLogScale::Quick => vec![4.0, 12.0],
+        QueryLogScale::Full => vec![4.0, 120.0],
+    };
+    // Evaluate roughly every fifth of the horizon.
+    let last_day = match scale {
+        QueryLogScale::Quick => 39usize,
+        QueryLogScale::Full => 89usize,
+    };
+    let eval_days: Vec<usize> = (1..=5).map(|i| i * last_day / 5).collect();
+    println!("scale: {scale:?}; evaluating at days {eval_days:?}");
+
+    let mut table = ExperimentTable::new(
+        "exp7_error_vs_time",
+        &[
+            "size_kb",
+            "day",
+            "method",
+            "average_absolute_error",
+            "expected_absolute_error",
+        ],
+    );
+
+    for &size_kb in &sizes {
+        let mut harness = QueryLogHarness::new(scale, 23);
+        let budget = SpaceBudget::from_kb(size_kb);
+        let results = harness.run_budget(budget, 0.3, &eval_days);
+        for (day, methods) in results {
+            for m in methods {
+                table.push_row(vec![
+                    format!("{size_kb}"),
+                    day.to_string(),
+                    m.method,
+                    format!("{:.2}", m.average_error),
+                    format!("{:.2}", m.expected_error),
+                ]);
+            }
+        }
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

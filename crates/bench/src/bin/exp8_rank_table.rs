@@ -1,0 +1,39 @@
+//! Experiment 8 (Table 1): average `opt-hash` error after the whole log as a
+//! percentage of each query's true frequency, for the 1st, 10th, 100th,
+//! 1,000th and 10,000th most common queries.
+//!
+//! Set `OPTHASH_SCALE=full` for the paper-scale log (which actually contains
+//! a 10,000th-ranked query; the quick log reports up to its own tail).
+
+use opthash_bench::{ExperimentTable, QueryLogHarness, QueryLogScale};
+use opthash_stream::SpaceBudget;
+
+fn main() {
+    let scale = QueryLogScale::from_env();
+    let mut harness = QueryLogHarness::new(scale, 31);
+    // The paper's Table 1 accompanies the larger memory configurations; use
+    // the biggest size of the scale's sweep.
+    let size_kb = *scale.sizes_kb().last().unwrap();
+    let budget = SpaceBudget::from_kb(size_kb);
+    println!("scale: {scale:?}; opt-hash size {size_kb} KB over {} days", harness.days());
+
+    let ranks = [1usize, 10, 100, 1_000, 10_000];
+    let rows = harness.rank_table(budget, 0.3, &ranks);
+
+    let mut table = ExperimentTable::new(
+        "exp8_rank_table",
+        &["query_rank", "query_frequency", "average_error_percentage"],
+    );
+    for (rank, frequency, pct) in rows {
+        table.push_row(vec![
+            rank.to_string(),
+            frequency.to_string(),
+            format!("{pct:.2}"),
+        ]);
+    }
+
+    table.print();
+    if let Ok(path) = table.write_csv() {
+        println!("\nwritten to {}", path.display());
+    }
+}

@@ -1,0 +1,21 @@
+//! # opthash-bench
+//!
+//! Shared utilities for the experiment binaries (`exp0`–`exp8`) that
+//! regenerate every figure and table of the paper, plus the Criterion
+//! micro-benchmarks. See `DESIGN.md` (per-experiment index) and
+//! `EXPERIMENTS.md` (paper-vs-measured) at the repository root.
+//!
+//! Each experiment binary prints the series its figure plots — one row per
+//! x-value, one column per method — and writes the same rows as CSV under
+//! `target/experiments/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod querylog_harness;
+pub mod reporting;
+pub mod synthetic_harness;
+
+pub use querylog_harness::{QueryLogHarness, QueryLogScale};
+pub use reporting::{mean_std, write_csv, ExperimentTable};
+pub use synthetic_harness::{SyntheticRun, SyntheticWorkload};

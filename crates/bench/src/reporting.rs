@@ -1,0 +1,133 @@
+//! Tabular reporting and CSV export shared by the experiment binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple experiment result table: a header row plus data rows, printed to
+/// stdout in aligned columns and exported as CSV.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Experiment identifier, e.g. `"exp1_lambda"`; used as the CSV filename.
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        ExperimentTable {
+            name: name.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of floating-point cells, formatted with 4 significant
+    /// decimals, prefixed by a label cell.
+    pub fn push_numeric_row(&mut self, label: impl ToString, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.push_row(cells);
+    }
+
+    /// Renders the table to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("\n== {} ==", self.name);
+        println!("{}", render(&self.columns));
+        for row in &self.rows {
+            println!("{}", render(row));
+        }
+    }
+
+    /// Writes the table as CSV under `target/experiments/<name>.csv` and
+    /// returns the path.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        write_csv(&self.name, &self.columns, &self.rows)
+    }
+}
+
+/// Writes rows as CSV under `target/experiments/<name>.csv`.
+pub fn write_csv(
+    name: &str,
+    columns: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target").join("experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&columns.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Mean and standard deviation of a sample (population std; the experiments
+/// report spread across repeated runs as the paper does).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn table_rows_must_match_header() {
+        let mut t = ExperimentTable::new("test", &["a", "b"]);
+        t.push_numeric_row("x", &[1.0]);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0], vec!["x".to_owned(), "1.0000".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = ExperimentTable::new("test", &["a", "b"]);
+        t.push_row(vec!["only-one".to_owned()]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Harness for the synthetic-data experiments (Section 6 / Figures 1–6).
+//!
+//! Wraps the group generator, the three solvers and the classifiers behind a
+//! single [`SyntheticWorkload::run`] call that returns exactly the error
+//! terms the paper's plots show: prefix estimation/similarity/overall error,
+//! the same errors on unseen elements after `10·|S0|` further arrivals, and
+//! the elapsed time.
+
+use opthash::{OptHash, OptHashBuilder, SolverKind};
+use opthash_datagen::groups::{GroupConfig, GroupDataset};
+use opthash_ml::ClassifierKind;
+use opthash_stream::{assignment_errors, FrequencyEstimator, StreamElement, StreamPrefix};
+use std::time::Instant;
+
+/// A synthetic experiment configuration (one point of a sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticWorkload {
+    /// Number of groups `G`.
+    pub num_groups: usize,
+    /// Fraction of each group visible in the prefix (`g0`).
+    pub fraction_seen: f64,
+    /// Trade-off weight λ.
+    pub lambda: f64,
+    /// Number of buckets `b`.
+    pub buckets: usize,
+    /// Solver choice.
+    pub solver: SolverKind,
+    /// Classifier for unseen elements.
+    pub classifier: ClassifierKind,
+    /// Seed of this repetition.
+    pub seed: u64,
+}
+
+impl SyntheticWorkload {
+    /// The paper's base configuration: 10 buckets, CART classifier.
+    pub fn new(num_groups: usize, lambda: f64, solver: SolverKind, seed: u64) -> Self {
+        SyntheticWorkload {
+            num_groups,
+            fraction_seen: 0.5,
+            lambda,
+            buckets: 10,
+            solver,
+            classifier: ClassifierKind::Cart,
+            seed,
+        }
+    }
+}
+
+/// The measurements a single run produces — one point in Figures 2–6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticRun {
+    /// Estimation error on the prefix (absolute scale).
+    pub prefix_estimation_error: f64,
+    /// Similarity error on the prefix (absolute scale).
+    pub prefix_similarity_error: f64,
+    /// Overall objective on the prefix (absolute scale).
+    pub prefix_overall_error: f64,
+    /// Estimation error on the prefix, per element.
+    pub prefix_estimation_error_per_element: f64,
+    /// Similarity error on the prefix, per ordered co-bucketed pair.
+    pub prefix_similarity_error_per_pair: f64,
+    /// Estimation error on unseen elements after `10·|S0|` arrivals, per
+    /// element.
+    pub unseen_estimation_error: f64,
+    /// Similarity error on unseen elements (per pair, against the learned
+    /// scheme's buckets).
+    pub unseen_similarity_error: f64,
+    /// Overall error on unseen elements.
+    pub unseen_overall_error: f64,
+    /// Wall-clock seconds spent learning (solver + classifier).
+    pub elapsed_seconds: f64,
+    /// Number of distinct prefix elements.
+    pub prefix_elements: usize,
+}
+
+impl SyntheticWorkload {
+    /// Runs the workload once and collects every metric.
+    pub fn run(&self) -> SyntheticRun {
+        let dataset = GroupDataset::generate(GroupConfig {
+            num_groups: self.num_groups,
+            fraction_seen: self.fraction_seen,
+            seed: self.seed,
+            ..GroupConfig::default()
+        });
+        let (prefix_stream, continuation) = dataset.generate_experiment_streams(self.seed + 7);
+        let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+
+        let start = Instant::now();
+        let mut estimator = OptHashBuilder::new(self.buckets)
+            .lambda(self.lambda)
+            .solver(self.solver)
+            .classifier(self.classifier)
+            .seed(self.seed)
+            .train(&prefix);
+        let elapsed_seconds = start.elapsed().as_secs_f64();
+
+        // Prefix-side errors. The λ = 1 solvers ignore features, but the
+        // paper's plots still report the *similarity* error of the resulting
+        // assignment, so both terms are re-evaluated here on the actual
+        // prefix features regardless of λ.
+        let stats = estimator.stats().clone();
+        let n = stats.stored_elements.max(1);
+        let solution = estimator.solution().clone();
+        let prefix_frequencies = prefix.frequencies_f64();
+        let prefix_features = prefix.features();
+        let prefix_errors = assignment_errors(
+            &prefix_frequencies,
+            &prefix_features,
+            &solution.assignment,
+            self.buckets,
+            0.5, // λ < 1 forces both terms to be evaluated; weighting is done below
+        );
+        let pairs = opthash_stream::metrics::ordered_cobucket_pairs(
+            &solution.assignment,
+            self.buckets,
+        )
+        .max(1);
+
+        // Stream the continuation; collect which unseen elements appeared.
+        for arrival in continuation.iter() {
+            estimator.update(arrival);
+        }
+        let continuation_freqs = continuation.frequencies();
+        let unseen: Vec<(StreamElement, f64)> = continuation_freqs
+            .iter()
+            .filter(|(id, _)| !estimator.is_stored(*id))
+            .map(|(id, f)| (dataset.stream_element(id).expect("exists"), f as f64))
+            .collect();
+
+        let (unseen_est, unseen_sim, unseen_overall) =
+            unseen_errors(&estimator, &unseen, self.lambda, self.buckets);
+
+        let prefix_estimation_error = prefix_errors.estimation_error;
+        let prefix_similarity_error = prefix_errors.similarity_error;
+        SyntheticRun {
+            prefix_estimation_error,
+            prefix_similarity_error,
+            prefix_overall_error: self.lambda * prefix_estimation_error
+                + (1.0 - self.lambda) * prefix_similarity_error,
+            prefix_estimation_error_per_element: prefix_estimation_error / n as f64,
+            prefix_similarity_error_per_pair: prefix_similarity_error / pairs as f64,
+            unseen_estimation_error: unseen_est,
+            unseen_similarity_error: unseen_sim,
+            unseen_overall_error: unseen_overall,
+            elapsed_seconds,
+            prefix_elements: stats.stored_elements,
+        }
+    }
+}
+
+/// Computes the paper's unseen-element error terms: the estimation error is
+/// the average |true − estimate| over unseen elements; the similarity error
+/// is the per-pair feature distance of the buckets those elements are routed
+/// into, re-evaluated over the unseen population.
+fn unseen_errors(
+    estimator: &OptHash,
+    unseen: &[(StreamElement, f64)],
+    lambda: f64,
+    buckets: usize,
+) -> (f64, f64, f64) {
+    if unseen.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut abs_error_sum = 0.0;
+    let mut assignment = Vec::with_capacity(unseen.len());
+    let mut frequencies = Vec::with_capacity(unseen.len());
+    let mut features = Vec::with_capacity(unseen.len());
+    for (element, true_f) in unseen {
+        let estimate = estimator.estimate(element);
+        abs_error_sum += (estimate - true_f).abs();
+        assignment.push(estimator.bucket_of(element));
+        frequencies.push(*true_f);
+        features.push(element.features.clone());
+    }
+    let estimation = abs_error_sum / unseen.len() as f64;
+    let errors = assignment_errors(&frequencies, &features, &assignment, buckets, lambda);
+    let pairs = opthash_stream::metrics::ordered_cobucket_pairs(&assignment, buckets).max(1);
+    let similarity = errors.similarity_error / pairs as f64;
+    let overall = lambda * estimation + (1.0 - lambda) * similarity;
+    (estimation, similarity, overall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_solver::BcdConfig;
+
+    #[test]
+    fn run_produces_finite_metrics() {
+        let workload = SyntheticWorkload::new(
+            4,
+            0.5,
+            SolverKind::Bcd(BcdConfig::default()),
+            1,
+        );
+        let run = workload.run();
+        assert!(run.prefix_estimation_error.is_finite());
+        assert!(run.prefix_similarity_error >= 0.0);
+        assert!(run.prefix_overall_error >= 0.0);
+        assert!(run.unseen_estimation_error >= 0.0);
+        assert!(run.elapsed_seconds >= 0.0);
+        assert!(run.prefix_elements > 0);
+    }
+
+    #[test]
+    fn dp_runs_with_lambda_one() {
+        let workload = SyntheticWorkload::new(4, 1.0, SolverKind::Dp, 2);
+        let run = workload.run();
+        // With λ = 1 the overall error equals the estimation error.
+        assert!((run.prefix_overall_error - run.prefix_estimation_error).abs() < 1e-9);
+    }
+}

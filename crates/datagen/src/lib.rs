@@ -1,0 +1,33 @@
+//! # opthash-datagen
+//!
+//! Synthetic workload generators reproducing the paper's two data sources:
+//!
+//! * [`groups`] — the group-structured synthetic streams of Section 6.1:
+//!   `G` element groups of exponentially growing sizes, 2-D Gaussian features
+//!   per group, group arrival probability proportional to `1/g`, and a
+//!   prefix in which only a fraction `g0` of each group's elements may
+//!   appear.
+//! * [`querylog`] — a synthetic multi-day search-query log standing in for
+//!   the AOL dataset of Section 7 (which is not redistributable): Zipfian
+//!   rank–frequency law calibrated to the frequencies the paper quotes,
+//!   navigational-query text structure, and day-to-day persistence of the
+//!   popular queries.
+//! * [`trace`] — a loader for real query-log traces in the AOL TSV format,
+//!   so users who have the original dataset can run every experiment on it.
+//! * [`zipf`] — the shared Zipf sampler.
+//!
+//! All generators are deterministic given their seed, so every experiment in
+//! the benchmark harness is reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod groups;
+pub mod querylog;
+pub mod trace;
+pub mod zipf;
+
+pub use groups::{GroupConfig, GroupDataset};
+pub use querylog::{QueryLogConfig, QueryLogDataset};
+pub use trace::{QueryTrace, TraceRecord};
+pub use zipf::ZipfSampler;

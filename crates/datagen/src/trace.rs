@@ -1,0 +1,275 @@
+//! Loading real query-log traces from disk.
+//!
+//! The paper evaluates on the AOL query log, which cannot be redistributed
+//! with this repository. Users who have a copy (or any other query trace)
+//! can load it with [`QueryTrace::load_aol_tsv`], which parses the AOL
+//! release format — tab-separated lines of
+//! `AnonID\tQuery\tQueryTime\tItemRank\tClickURL` with a header row — and
+//! exposes the same per-day streams and aggregated counts as the synthetic
+//! [`crate::querylog::QueryLogDataset`], so every experiment binary can be
+//! pointed at real data without code changes elsewhere.
+
+use opthash_stream::{ElementId, FrequencyVector, Stream, StreamElement};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// One parsed query arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The (normalized) query text.
+    pub query: String,
+    /// Zero-based day index relative to the first day in the trace.
+    pub day: usize,
+}
+
+/// A query trace loaded from disk, bucketed into days.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryTrace {
+    /// Query text per ID, in first-appearance order.
+    queries: Vec<String>,
+    /// Query text → ID.
+    index: HashMap<String, ElementId>,
+    /// Arrivals per day, as query IDs in arrival order.
+    days: Vec<Vec<ElementId>>,
+}
+
+impl QueryTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        QueryTrace::default()
+    }
+
+    /// Parses an AOL-format TSV from any reader. Lines that cannot be parsed
+    /// (including the header) are skipped; the day index is derived from the
+    /// date part of `QueryTime` (`YYYY-MM-DD …`), counting distinct dates in
+    /// chronological order of first appearance.
+    pub fn from_aol_reader<R: Read>(reader: R) -> std::io::Result<Self> {
+        let mut trace = QueryTrace::new();
+        let mut date_index: HashMap<String, usize> = HashMap::new();
+        let mut dates_seen: Vec<String> = Vec::new();
+        let buffered = BufReader::new(reader);
+        let mut records: Vec<(usize, String)> = Vec::new();
+        for line in buffered.lines() {
+            let line = line?;
+            let mut fields = line.split('\t');
+            let _anon_id = match fields.next() {
+                Some(f) if !f.is_empty() && f != "AnonID" => f,
+                _ => continue,
+            };
+            let query = match fields.next() {
+                Some(q) if !q.trim().is_empty() => q.trim().to_lowercase(),
+                _ => continue,
+            };
+            let date = match fields.next() {
+                Some(t) if t.len() >= 10 => t[..10].to_owned(),
+                _ => continue,
+            };
+            let day = *date_index.entry(date.clone()).or_insert_with(|| {
+                dates_seen.push(date);
+                dates_seen.len() - 1
+            });
+            records.push((day, query));
+        }
+        // Re-map day indices so they follow chronological (string) order of
+        // the dates rather than first-appearance order.
+        let mut sorted_dates = dates_seen.clone();
+        sorted_dates.sort();
+        let chronological: HashMap<&str, usize> = sorted_dates
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.as_str(), i))
+            .collect();
+        let remap: Vec<usize> = dates_seen
+            .iter()
+            .map(|d| chronological[d.as_str()])
+            .collect();
+        for (day, query) in records {
+            trace.push(TraceRecord {
+                query,
+                day: remap[day],
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Loads an AOL-format TSV file from disk.
+    pub fn load_aol_tsv(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::from_aol_reader(file)
+    }
+
+    /// Appends one arrival.
+    pub fn push(&mut self, record: TraceRecord) {
+        let id = match self.index.get(&record.query) {
+            Some(&id) => id,
+            None => {
+                let id = ElementId(self.queries.len() as u64);
+                self.index.insert(record.query.clone(), id);
+                self.queries.push(record.query);
+                id
+            }
+        };
+        if record.day >= self.days.len() {
+            self.days.resize(record.day + 1, Vec::new());
+        }
+        self.days[record.day].push(id);
+    }
+
+    /// Number of distinct queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of days covered.
+    pub fn days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Total number of arrivals across all days.
+    pub fn total_arrivals(&self) -> usize {
+        self.days.iter().map(Vec::len).sum()
+    }
+
+    /// The text of a query ID.
+    pub fn query_text(&self, id: ElementId) -> Option<&str> {
+        self.queries.get(id.raw() as usize).map(String::as_str)
+    }
+
+    /// The ID of a query text, if it appears in the trace.
+    pub fn query_id(&self, text: &str) -> Option<ElementId> {
+        self.index.get(&text.to_lowercase()).copied()
+    }
+
+    /// The arrival stream of one day (IDs only; attach text features with
+    /// `opthash-ml::TextFeaturizer` where needed).
+    pub fn day_stream(&self, day: usize) -> Stream {
+        assert!(day < self.days.len(), "day {day} out of range");
+        self.days[day]
+            .iter()
+            .map(|&id| StreamElement::without_features(id))
+            .collect()
+    }
+
+    /// Exact per-query counts of one day.
+    pub fn day_counts(&self, day: usize) -> FrequencyVector {
+        FrequencyVector::from_counts(
+            self.days[day]
+                .iter()
+                .map(|&id| (id, 1u64)),
+        )
+    }
+
+    /// Exact counts aggregated over days `0..=day`.
+    pub fn cumulative_counts(&self, day: usize) -> FrequencyVector {
+        let mut total = FrequencyVector::new();
+        for d in 0..=day.min(self.days.len().saturating_sub(1)) {
+            total.merge(&self.day_counts(d));
+        }
+        total
+    }
+
+    /// Day-0 `(id, text, count)` tuples sorted by decreasing count — the
+    /// observed prefix for the learned approaches.
+    pub fn first_day_counts(&self) -> Vec<(ElementId, String, u64)> {
+        if self.days.is_empty() {
+            return Vec::new();
+        }
+        let counts = self.day_counts(0);
+        let mut pairs: Vec<(ElementId, String, u64)> = counts
+            .iter()
+            .map(|(id, c)| (id, self.queries[id.raw() as usize].clone(), c))
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n\
+142\tgoogle\t2006-03-01 07:17:12\t1\thttp://www.google.com\n\
+142\tgoogle maps\t2006-03-01 08:01:03\t\t\n\
+999\tGoogle\t2006-03-02 10:00:00\t\t\n\
+999\tweather\t2006-03-02 11:30:00\t2\thttp://www.weather.com\n\
+777\tgoogle\t2006-03-01 22:10:00\t\t\n\
+777\t \t2006-03-03 09:00:00\t\t\n\
+bad line without tabs\n";
+
+    #[test]
+    fn parses_aol_format_and_buckets_by_day() {
+        let trace = QueryTrace::from_aol_reader(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(trace.days(), 2); // 2006-03-01 and 2006-03-02 (03-03 line had an empty query)
+        assert_eq!(trace.num_queries(), 3); // google, google maps, weather
+        assert_eq!(trace.total_arrivals(), 5);
+        let day0 = trace.day_counts(0);
+        let google = trace.query_id("google").unwrap();
+        assert_eq!(day0.frequency(google), 2);
+        let day1 = trace.day_counts(1);
+        assert_eq!(day1.frequency(google), 1); // "Google" normalized to lowercase
+    }
+
+    #[test]
+    fn header_and_malformed_lines_are_skipped() {
+        let trace = QueryTrace::from_aol_reader(SAMPLE.as_bytes()).unwrap();
+        assert!(trace.query_id("anonid").is_none());
+        assert!(trace.query_id("bad line without tabs").is_none());
+    }
+
+    #[test]
+    fn cumulative_counts_and_first_day_prefix() {
+        let trace = QueryTrace::from_aol_reader(SAMPLE.as_bytes()).unwrap();
+        let cumulative = trace.cumulative_counts(1);
+        let google = trace.query_id("google").unwrap();
+        assert_eq!(cumulative.frequency(google), 3);
+        let prefix = trace.first_day_counts();
+        assert_eq!(prefix[0].1, "google");
+        assert_eq!(prefix[0].2, 2);
+    }
+
+    #[test]
+    fn day_stream_preserves_arrival_order_and_ids() {
+        let trace = QueryTrace::from_aol_reader(SAMPLE.as_bytes()).unwrap();
+        let stream = trace.day_stream(0);
+        assert_eq!(stream.len(), 3);
+        let texts: Vec<&str> = stream
+            .iter()
+            .map(|e| trace.query_text(e.id).unwrap())
+            .collect();
+        assert_eq!(texts, vec!["google", "google maps", "google"]);
+    }
+
+    #[test]
+    fn days_are_ordered_chronologically_even_if_seen_out_of_order() {
+        let out_of_order = "1\tfirst\t2006-03-05 01:00:00\t\t\n\
+1\tsecond\t2006-03-04 01:00:00\t\t\n";
+        let trace = QueryTrace::from_aol_reader(out_of_order.as_bytes()).unwrap();
+        assert_eq!(trace.days(), 2);
+        // 2006-03-04 must be day 0 even though it appeared second in the file
+        let day0 = trace.day_counts(0);
+        let second = trace.query_id("second").unwrap();
+        assert_eq!(day0.frequency(second), 1);
+    }
+
+    #[test]
+    fn manual_push_grows_days_as_needed() {
+        let mut trace = QueryTrace::new();
+        trace.push(TraceRecord {
+            query: "a".into(),
+            day: 3,
+        });
+        assert_eq!(trace.days(), 4);
+        assert_eq!(trace.day_stream(0).len(), 0);
+        assert_eq!(trace.day_stream(3).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn day_out_of_range_panics() {
+        let trace = QueryTrace::new();
+        let _ = trace.day_stream(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # opthash-ml
+//!
+//! From-scratch machine-learning components used by the learned hashing
+//! scheme. Once the solver has assigned the prefix elements to buckets, a
+//! multi-class classifier is trained on `(features, bucket)` pairs so that
+//! *unseen* elements can be routed to the bucket of similar elements
+//! (Section 5.2 of the paper). Three model families are provided, matching
+//! the paper's experiments (Section 6.2):
+//!
+//! * [`LogisticRegression`] — ridge-regularized multinomial logistic
+//!   regression trained with full-batch gradient descent (`logreg`),
+//! * [`DecisionTree`] — a CART classifier with Gini impurity, maximum depth
+//!   and minimum-impurity-decrease pruning (`cart`),
+//! * [`RandomForest`] — a bagged ensemble of CART trees with per-split
+//!   feature subsampling (`rf`).
+//!
+//! Supporting modules:
+//!
+//! * [`dataset`] — the dense `(features, label)` training-set representation
+//!   plus splitting utilities,
+//! * [`tuning`] — k-fold cross-validation and grid search over each model's
+//!   hyper-parameters, mirroring the 10-fold tuning of the paper,
+//! * [`features`] — the bag-of-words + character-count text featurizer used
+//!   for search-query experiments (Section 7.3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cart;
+pub mod classifier;
+pub mod dataset;
+pub mod features;
+pub mod forest;
+pub mod logreg;
+pub mod metrics;
+pub mod tuning;
+
+pub use cart::{CartConfig, DecisionTree};
+pub use classifier::{Classifier, ClassifierKind, TrainedClassifier};
+pub use dataset::Dataset;
+pub use features::{QueryFeatures, TextFeaturizer};
+pub use forest::{ForestConfig, RandomForest};
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use metrics::ConfusionMatrix;
+pub use tuning::{cross_validate, tune, CvResult};

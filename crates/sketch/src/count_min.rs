@@ -1,0 +1,321 @@
+//! The Count-Min Sketch (`count-min` baseline).
+//!
+//! A `width × depth` grid of counters; each arrival increments one counter
+//! per row (level) chosen by that row's hash function, and a point query
+//! returns the minimum counter over the rows (Section 2.1). The estimate
+//! never under-counts, and with probability `1 − e^{-depth}` the
+//! over-estimate is at most `(e/width)·‖f‖₁`.
+//!
+//! The optional [`UpdatePolicy::Conservative`] variant only increments the
+//! counters that currently equal the minimum; it is a standard accuracy
+//! optimization and is used as an ablation in the benchmark harness.
+
+use crate::hashing::HashFamily;
+use opthash_stream::{ElementId, FrequencyEstimator, SpaceReport, StreamElement};
+use serde::{Deserialize, Serialize};
+
+/// How counter updates are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UpdatePolicy {
+    /// Increment every level's counter (the textbook Count-Min update).
+    #[default]
+    Standard,
+    /// Conservative update: only increment counters currently equal to the
+    /// minimum estimate. Still never under-estimates, but over-estimates less.
+    Conservative,
+}
+
+/// The Count-Min Sketch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    policy: UpdatePolicy,
+    hashes: HashFamily,
+    /// Row-major `depth × width` counter grid.
+    counters: Vec<u64>,
+    /// Total number of updates applied (`‖f‖₁` seen so far).
+    total_updates: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with the given `width` (buckets per level) and
+    /// `depth` (number of levels), seeded for reproducible hashing.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        Self::with_policy(width, depth, seed, UpdatePolicy::Standard)
+    }
+
+    /// Creates a sketch with an explicit [`UpdatePolicy`].
+    pub fn with_policy(width: usize, depth: usize, seed: u64, policy: UpdatePolicy) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        CountMinSketch {
+            width,
+            depth,
+            policy,
+            hashes: HashFamily::new(depth, width, seed),
+            counters: vec![0; width * depth],
+            total_updates: 0,
+        }
+    }
+
+    /// Creates a sketch that uses `total_buckets` counters split across
+    /// `depth` levels — the sizing used when comparing at equal memory.
+    pub fn with_total_buckets(total_buckets: usize, depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        let width = (total_buckets / depth).max(1);
+        Self::new(width, depth, seed)
+    }
+
+    /// Number of buckets per level.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total number of counters (`width × depth`).
+    #[inline]
+    pub fn total_buckets(&self) -> usize {
+        self.width * self.depth
+    }
+
+    /// Total updates applied so far.
+    #[inline]
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    #[inline]
+    fn cell(&self, level: usize, bucket: usize) -> usize {
+        level * self.width + bucket
+    }
+
+    /// Adds `count` occurrences of `id`.
+    pub fn add(&mut self, id: ElementId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.total_updates += count;
+        match self.policy {
+            UpdatePolicy::Standard => {
+                for level in 0..self.depth {
+                    let b = self.hashes.hash(level, id.raw());
+                    let cell = self.cell(level, b);
+                    self.counters[cell] += count;
+                }
+            }
+            UpdatePolicy::Conservative => {
+                let current = self.query(id);
+                let target = current + count;
+                for level in 0..self.depth {
+                    let b = self.hashes.hash(level, id.raw());
+                    let cell = self.cell(level, b);
+                    if self.counters[cell] < target {
+                        self.counters[cell] = target;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point query: minimum counter over all levels.
+    pub fn query(&self, id: ElementId) -> u64 {
+        (0..self.depth)
+            .map(|level| {
+                let b = self.hashes.hash(level, id.raw());
+                self.counters[self.cell(level, b)]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The `(ε, δ)` guarantee of this configuration: the additive error is at
+    /// most `ε·‖f‖₁` with probability `1 − δ`, where `ε = e/width` and
+    /// `δ = e^{-depth}` (Section 2.1).
+    pub fn error_guarantee(&self) -> (f64, f64) {
+        let epsilon = std::f64::consts::E / self.width as f64;
+        let delta = (-(self.depth as f64)).exp();
+        (epsilon, delta)
+    }
+
+    /// Itemized memory usage.
+    pub fn space_report(&self) -> SpaceReport {
+        SpaceReport {
+            counters: self.total_buckets(),
+            ..SpaceReport::default()
+        }
+    }
+}
+
+impl FrequencyEstimator for CountMinSketch {
+    fn update(&mut self, element: &StreamElement) {
+        self.add(element.id, 1);
+    }
+
+    fn estimate(&self, element: &StreamElement) -> f64 {
+        self.query(element.id) as f64
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.space_report().total_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "count-min"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_stream::{FrequencyVector, Stream};
+
+    fn zipf_stream(distinct: u64, arrivals: usize, seed: u64) -> Stream {
+        // Simple deterministic Zipf-ish stream without extra dependencies:
+        // element k appears roughly proportional to 1/(k+1).
+        let mut ids = Vec::with_capacity(arrivals);
+        let mut state = seed.max(1);
+        let weights: Vec<f64> = (0..distinct).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        for _ in 0..arrivals {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mut u = (state % 1_000_000) as f64 / 1_000_000.0 * total;
+            let mut chosen = distinct - 1;
+            for (k, &w) in weights.iter().enumerate() {
+                if u < w {
+                    chosen = k as u64;
+                    break;
+                }
+                u -= w;
+            }
+            ids.push(chosen);
+        }
+        Stream::from_ids(ids)
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let stream = zipf_stream(200, 5_000, 11);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cms = CountMinSketch::new(64, 4, 1);
+        cms.update_stream(&stream);
+        for (id, f) in truth.iter() {
+            assert!(cms.query(id) >= f, "under-estimate for {id}");
+        }
+    }
+
+    #[test]
+    fn conservative_update_never_underestimates_and_is_tighter() {
+        let stream = zipf_stream(300, 8_000, 5);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut std_cms = CountMinSketch::with_policy(32, 3, 1, UpdatePolicy::Standard);
+        let mut cons_cms = CountMinSketch::with_policy(32, 3, 1, UpdatePolicy::Conservative);
+        std_cms.update_stream(&stream);
+        cons_cms.update_stream(&stream);
+        let mut std_err = 0.0;
+        let mut cons_err = 0.0;
+        for (id, f) in truth.iter() {
+            assert!(cons_cms.query(id) >= f);
+            std_err += (std_cms.query(id) - f) as f64;
+            cons_err += (cons_cms.query(id) - f) as f64;
+        }
+        assert!(
+            cons_err <= std_err,
+            "conservative update should not be worse: {cons_err} vs {std_err}"
+        );
+    }
+
+    #[test]
+    fn exact_when_width_exceeds_distinct_support_is_likely() {
+        // With width much larger than the number of distinct elements and
+        // depth 4, collisions in all four rows simultaneously are essentially
+        // impossible, so the estimate is exact.
+        let stream = Stream::from_ids([1u64, 1, 2, 3, 3, 3]);
+        let mut cms = CountMinSketch::new(4096, 4, 42);
+        cms.update_stream(&stream);
+        assert_eq!(cms.query(ElementId(1)), 2);
+        assert_eq!(cms.query(ElementId(2)), 1);
+        assert_eq!(cms.query(ElementId(3)), 3);
+        assert_eq!(cms.query(ElementId(999)), 0);
+    }
+
+    #[test]
+    fn additive_error_respects_epsilon_bound_on_average() {
+        let stream = zipf_stream(500, 20_000, 3);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cms = CountMinSketch::new(256, 4, 8);
+        cms.update_stream(&stream);
+        let (epsilon, _) = cms.error_guarantee();
+        let bound = epsilon * truth.total() as f64;
+        // the (ε, δ) guarantee is per-query with prob 1-δ; check the vast
+        // majority of queries respect it.
+        let violations = truth
+            .iter()
+            .filter(|&(id, f)| (cms.query(id) - f) as f64 > bound)
+            .count();
+        assert!(
+            violations <= truth.support_size() / 20,
+            "too many violations: {violations}"
+        );
+    }
+
+    #[test]
+    fn add_with_zero_count_is_a_noop() {
+        let mut cms = CountMinSketch::new(16, 2, 1);
+        cms.add(ElementId(5), 0);
+        assert_eq!(cms.total_updates(), 0);
+        assert_eq!(cms.query(ElementId(5)), 0);
+    }
+
+    #[test]
+    fn space_accounting_counts_all_cells() {
+        let cms = CountMinSketch::new(250, 4, 1);
+        assert_eq!(cms.total_buckets(), 1000);
+        assert_eq!(cms.space_bytes(), 4_000);
+        assert_eq!(cms.name(), "count-min");
+    }
+
+    #[test]
+    fn with_total_buckets_divides_across_depth() {
+        let cms = CountMinSketch::with_total_buckets(1000, 4, 1);
+        assert_eq!(cms.width(), 250);
+        assert_eq!(cms.depth(), 4);
+        // width never drops below 1
+        let tiny = CountMinSketch::with_total_buckets(2, 6, 1);
+        assert_eq!(tiny.width(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = zipf_stream(100, 2_000, 9);
+        let mut a = CountMinSketch::new(64, 3, 123);
+        let mut b = CountMinSketch::new(64, 3, 123);
+        a.update_stream(&stream);
+        b.update_stream(&stream);
+        for (id, _) in FrequencyVector::from_stream(&stream).iter() {
+            assert_eq!(a.query(id), b.query(id));
+        }
+    }
+
+    #[test]
+    fn error_guarantee_formula() {
+        let cms = CountMinSketch::new(272, 3, 1);
+        let (eps, delta) = cms.error_guarantee();
+        assert!((eps - std::f64::consts::E / 272.0).abs() < 1e-12);
+        assert!((delta - (-3.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2, 1);
+    }
+}

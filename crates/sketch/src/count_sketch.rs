@@ -1,0 +1,232 @@
+//! The Count Sketch (median-of-signed-counters estimator).
+//!
+//! Each level hashes the element to a bucket *and* to a ±1 sign; updates add
+//! the sign to the bucket and queries multiply the bucket by the sign again,
+//! yielding an unbiased per-level estimate. The final estimate is the median
+//! across levels (Charikar, Chen & Farach-Colton 2002; referenced in
+//! Section 1.1 of the paper). Unlike the Count-Min Sketch it can under- as
+//! well as over-estimate, but its error scales with `‖f‖₂` instead of
+//! `‖f‖₁`, which is much smaller on skewed streams.
+
+use crate::hashing::{PairwiseHash, SignHash};
+use opthash_stream::{ElementId, FrequencyEstimator, SpaceReport, StreamElement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The Count Sketch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountSketch {
+    width: usize,
+    depth: usize,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<SignHash>,
+    /// Row-major `depth × width` signed counters.
+    counters: Vec<i64>,
+    total_updates: u64,
+}
+
+impl CountSketch {
+    /// Creates a sketch with the given `width` and `depth`, seeded for
+    /// reproducible hashing.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bucket_hashes = (0..depth).map(|_| PairwiseHash::draw(width, &mut rng)).collect();
+        let sign_hashes = (0..depth).map(|_| SignHash::draw(&mut rng)).collect();
+        CountSketch {
+            width,
+            depth,
+            bucket_hashes,
+            sign_hashes,
+            counters: vec![0; width * depth],
+            total_updates: 0,
+        }
+    }
+
+    /// Creates a sketch using `total_buckets` counters across `depth` levels.
+    pub fn with_total_buckets(total_buckets: usize, depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        Self::new((total_buckets / depth).max(1), depth, seed)
+    }
+
+    /// Buckets per level.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total counters (`width × depth`).
+    #[inline]
+    pub fn total_buckets(&self) -> usize {
+        self.width * self.depth
+    }
+
+    /// Adds `count` occurrences of `id`.
+    pub fn add(&mut self, id: ElementId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.total_updates += count;
+        for level in 0..self.depth {
+            let b = self.bucket_hashes[level].hash(id.raw());
+            let s = self.sign_hashes[level].sign(id.raw());
+            self.counters[level * self.width + b] += (s * count as f64) as i64;
+        }
+    }
+
+    /// Point query: median of per-level signed estimates. Can be negative for
+    /// elements that never appeared; callers that need a frequency clamp at 0
+    /// via [`FrequencyEstimator::estimate`].
+    pub fn query_signed(&self, id: ElementId) -> f64 {
+        let mut estimates: Vec<f64> = (0..self.depth)
+            .map(|level| {
+                let b = self.bucket_hashes[level].hash(id.raw());
+                let s = self.sign_hashes[level].sign(id.raw());
+                s * self.counters[level * self.width + b] as f64
+            })
+            .collect();
+        estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let d = estimates.len();
+        if d % 2 == 1 {
+            estimates[d / 2]
+        } else {
+            0.5 * (estimates[d / 2 - 1] + estimates[d / 2])
+        }
+    }
+
+    /// Itemized memory usage.
+    pub fn space_report(&self) -> SpaceReport {
+        SpaceReport {
+            counters: self.total_buckets(),
+            ..SpaceReport::default()
+        }
+    }
+}
+
+impl FrequencyEstimator for CountSketch {
+    fn update(&mut self, element: &StreamElement) {
+        self.add(element.id, 1);
+    }
+
+    fn estimate(&self, element: &StreamElement) -> f64 {
+        self.query_signed(element.id).max(0.0)
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.space_report().total_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "count-sketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_stream::{FrequencyVector, Stream};
+
+    fn skewed_stream(distinct: u64, arrivals: usize, seed: u64) -> Stream {
+        let mut ids = Vec::with_capacity(arrivals);
+        let mut state = seed.max(1);
+        for _ in 0..arrivals {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Geometric-ish skew: low ids far more likely.
+            let r = state % 100;
+            let id = if r < 50 {
+                state % 5
+            } else if r < 80 {
+                5 + state % 20
+            } else {
+                25 + state % (distinct - 25)
+            };
+            ids.push(id);
+        }
+        Stream::from_ids(ids)
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let stream = Stream::from_ids([1u64, 1, 2, 3, 3, 3, 4]);
+        let mut cs = CountSketch::new(4096, 5, 7);
+        cs.update_stream(&stream);
+        assert_eq!(cs.query_signed(ElementId(1)), 2.0);
+        assert_eq!(cs.query_signed(ElementId(3)), 3.0);
+        assert_eq!(cs.query_signed(ElementId(99)), 0.0);
+    }
+
+    #[test]
+    fn heavy_hitters_are_estimated_well_on_skewed_streams() {
+        let stream = skewed_stream(500, 30_000, 2);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cs = CountSketch::new(512, 5, 3);
+        cs.update_stream(&stream);
+        // The top-5 heavy elements should be within 15% relative error.
+        for rank in 1..=5 {
+            let (id, f) = truth.frequency_at_rank(rank).unwrap();
+            let est = cs.query_signed(id);
+            let rel = (est - f as f64).abs() / f as f64;
+            assert!(rel < 0.15, "rank {rank}: est {est}, true {f}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn estimate_clamps_negative_to_zero() {
+        let stream = skewed_stream(200, 5_000, 4);
+        let mut cs = CountSketch::new(8, 1, 5);
+        cs.update_stream(&stream);
+        // with a single level and tiny width, some absent elements will get
+        // negative signed estimates; the trait estimate must clamp them.
+        let mut saw_negative_signed = false;
+        for id in 10_000..10_500u64 {
+            let signed = cs.query_signed(ElementId(id));
+            if signed < 0.0 {
+                saw_negative_signed = true;
+            }
+            let est = cs.estimate(&StreamElement::without_features(id));
+            assert!(est >= 0.0);
+        }
+        assert!(saw_negative_signed, "expected at least one negative signed estimate");
+    }
+
+    #[test]
+    fn median_is_taken_across_levels() {
+        // Even depth: median averages the middle two level estimates.
+        let mut cs = CountSketch::new(1024, 2, 11);
+        cs.add(ElementId(7), 10);
+        let est = cs.query_signed(ElementId(7));
+        assert_eq!(est, 10.0);
+    }
+
+    #[test]
+    fn space_and_name() {
+        let cs = CountSketch::with_total_buckets(1000, 5, 1);
+        assert_eq!(cs.width(), 200);
+        assert_eq!(cs.depth(), 5);
+        assert_eq!(cs.space_bytes(), 4000);
+        assert_eq!(cs.name(), "count-sketch");
+    }
+
+    #[test]
+    fn zero_count_add_is_noop() {
+        let mut cs = CountSketch::new(8, 2, 1);
+        cs.add(ElementId(1), 0);
+        assert_eq!(cs.query_signed(ElementId(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = CountSketch::new(8, 0, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # opthash-sketch
+//!
+//! Randomized baseline sketches and probabilistic data structures used by the
+//! paper's evaluation:
+//!
+//! * [`CountMinSketch`] — the conventional Count-Min Sketch (`count-min`
+//!   baseline, Section 2.1), with an optional conservative-update ablation,
+//! * [`CountSketch`] — the Count Sketch (median-of-signed-counters estimator,
+//!   referenced in Section 1.1),
+//! * [`LearnedCountMin`] — the Learned Count-Min Sketch with an ideal
+//!   heavy-hitter oracle (`heavy-hitter` baseline, Section 2.2),
+//! * [`BloomFilter`] — the Bloom filter used by the adaptive counting
+//!   extension of `opt-hash` (Section 5.3),
+//! * [`hashing`] — seeded 2-universal hash families shared by all of the
+//!   above.
+//!
+//! All sketches implement [`opthash_stream::FrequencyEstimator`] so the
+//! experiment harness can drive them interchangeably and compare them at
+//! equal memory.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bloom;
+pub mod count_min;
+pub mod count_sketch;
+pub mod hashing;
+pub mod learned_cms;
+pub mod misra_gries;
+
+pub use bloom::BloomFilter;
+pub use count_min::{CountMinSketch, UpdatePolicy};
+pub use count_sketch::CountSketch;
+pub use hashing::{HashFamily, PairwiseHash, SignHash};
+pub use learned_cms::LearnedCountMin;
+pub use misra_gries::MisraGries;

@@ -1,0 +1,521 @@
+//! Block coordinate descent (Algorithm 1 of the paper).
+//!
+//! The solver maintains, for every bucket `j`, the member set `I_j`, its
+//! cardinality `c_j`, mean frequency `μ_j`, estimation error `e_j` and
+//! similarity error `s_j`. Each sweep visits the elements in a fresh random
+//! permutation; for every element it tentatively removes it from its current
+//! bucket, evaluates the objective change of inserting it into each bucket,
+//! and greedily commits the best move. Sweeps repeat until the objective
+//! improvement drops below a tolerance or an iteration cap is reached, and
+//! the whole process can be restarted from multiple initial assignments
+//! (Section 4.3).
+
+use crate::kmedian::{kmedian_dp_with, ClusterCost, DpStrategy};
+use crate::problem::{HashingProblem, HashingSolution, SolverStats};
+use opthash_stream::Features;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How the initial assignment of elements to buckets is produced
+/// (Section 4.3 discusses all four options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InitStrategy {
+    /// Uniformly random bucket per element.
+    #[default]
+    Random,
+    /// Sort elements by observed frequency and split them into `b`
+    /// equally-sized consecutive chunks.
+    SortedSplit,
+    /// Give the heaviest elements their own bucket (one each, up to `b − 1`
+    /// of them) and spread the rest over the remaining bucket(s) randomly —
+    /// the heavy-hitter heuristic.
+    HeavyHitter,
+    /// Warm-start from the exact `λ = 1` dynamic program (Section 4.4).
+    DpWarmStart,
+}
+
+/// Configuration of the block coordinate descent solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BcdConfig {
+    /// Maximum number of full sweeps over the elements per restart.
+    pub max_iterations: usize,
+    /// Terminate a restart once the objective improves by less than this.
+    pub tolerance: f64,
+    /// Initialization strategy.
+    pub init: InitStrategy,
+    /// Number of independent restarts; the best solution is returned.
+    pub restarts: usize,
+    /// RNG seed (restart `r` uses `seed + r`).
+    pub seed: u64,
+}
+
+impl Default for BcdConfig {
+    fn default() -> Self {
+        BcdConfig {
+            max_iterations: 50,
+            tolerance: 1e-6,
+            init: InitStrategy::Random,
+            restarts: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Block coordinate descent solver for [`HashingProblem`].
+#[derive(Debug, Clone)]
+pub struct BcdSolver {
+    config: BcdConfig,
+}
+
+/// Incremental per-bucket state.
+#[derive(Debug, Clone)]
+struct Bucket {
+    members: Vec<usize>,
+    sum_frequency: f64,
+    estimation_error: f64,
+    similarity_error: f64,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            members: Vec::new(),
+            sum_frequency: 0.0,
+            estimation_error: 0.0,
+            similarity_error: 0.0,
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.members.is_empty() {
+            0.0
+        } else {
+            self.sum_frequency / self.members.len() as f64
+        }
+    }
+
+    /// Recomputes the estimation error from scratch (O(|I_j|)).
+    fn recompute_estimation_error(&mut self, frequencies: &[f64]) {
+        let mean = self.mean();
+        self.estimation_error = self
+            .members
+            .iter()
+            .map(|&i| (frequencies[i] - mean).abs())
+            .sum();
+    }
+
+    /// Estimation error the bucket *would* have with `candidate` inserted.
+    fn estimation_error_with(&self, candidate: usize, frequencies: &[f64]) -> f64 {
+        let count = self.members.len() as f64 + 1.0;
+        let mean = (self.sum_frequency + frequencies[candidate]) / count;
+        let mut err = (frequencies[candidate] - mean).abs();
+        for &i in &self.members {
+            err += (frequencies[i] - mean).abs();
+        }
+        err
+    }
+
+    /// Sum of distances from `candidate` to every current member.
+    fn distance_to_members(&self, candidate: usize, features: &[Features]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        self.members
+            .iter()
+            .map(|&i| features[candidate].l2_distance(&features[i]))
+            .sum()
+    }
+
+    fn insert(&mut self, element: usize, frequencies: &[f64], dist_sum: f64) {
+        self.members.push(element);
+        self.sum_frequency += frequencies[element];
+        self.similarity_error += 2.0 * dist_sum;
+        self.recompute_estimation_error(frequencies);
+    }
+
+    fn remove(&mut self, element: usize, frequencies: &[f64], dist_sum: f64) {
+        let pos = self
+            .members
+            .iter()
+            .position(|&i| i == element)
+            .expect("element must be a member of the bucket it is removed from");
+        self.members.swap_remove(pos);
+        self.sum_frequency -= frequencies[element];
+        self.similarity_error -= 2.0 * dist_sum;
+        if self.similarity_error < 0.0 {
+            // guard against floating-point drift below zero
+            self.similarity_error = 0.0;
+        }
+        self.recompute_estimation_error(frequencies);
+    }
+
+    fn objective(&self, lambda: f64) -> f64 {
+        lambda * self.estimation_error + (1.0 - lambda) * self.similarity_error
+    }
+}
+
+impl BcdSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: BcdConfig) -> Self {
+        BcdSolver { config }
+    }
+
+    /// Creates a solver with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(BcdConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BcdConfig {
+        &self.config
+    }
+
+    /// Produces an initial assignment according to the configured strategy.
+    pub fn initial_assignment(
+        &self,
+        problem: &HashingProblem,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let n = problem.len();
+        let b = problem.buckets;
+        match self.config.init {
+            InitStrategy::Random => (0..n).map(|_| rng.gen_range(0..b)).collect(),
+            InitStrategy::SortedSplit => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&x, &y| {
+                    problem.frequencies[x]
+                        .partial_cmp(&problem.frequencies[y])
+                        .unwrap()
+                });
+                let chunk = n.div_ceil(b).max(1);
+                let mut assignment = vec![0usize; n];
+                for (rank, &i) in order.iter().enumerate() {
+                    assignment[i] = (rank / chunk).min(b - 1);
+                }
+                assignment
+            }
+            InitStrategy::HeavyHitter => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&x, &y| {
+                    problem.frequencies[y]
+                        .partial_cmp(&problem.frequencies[x])
+                        .unwrap()
+                });
+                let own_buckets = (b - 1).min(n);
+                let mut assignment = vec![0usize; n];
+                for (rank, &i) in order.iter().enumerate() {
+                    if rank < own_buckets {
+                        assignment[i] = rank;
+                    } else if own_buckets < b {
+                        assignment[i] = rng.gen_range(own_buckets..b);
+                    } else {
+                        assignment[i] = rng.gen_range(0..b);
+                    }
+                }
+                assignment
+            }
+            InitStrategy::DpWarmStart => kmedian_dp_with(
+                &problem.frequencies,
+                b,
+                // Use the mean-absolute-deviation cost so the warm start is
+                // exactly the solution `solve_frequency_only` would return.
+                ClusterCost::MeanAbs,
+                DpStrategy::DivideAndConquer,
+            )
+            .assignment,
+        }
+    }
+
+    /// Runs block coordinate descent and returns the best solution across
+    /// restarts.
+    pub fn solve(&self, problem: &HashingProblem) -> HashingSolution {
+        assert!(!problem.is_empty(), "cannot solve an empty problem");
+        let start = Instant::now();
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut total_sweeps = 0usize;
+        let restarts = self.config.restarts.max(1);
+        for restart in 0..restarts {
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(restart as u64));
+            let assignment = self.initial_assignment(problem, &mut rng);
+            let (assignment, objective, sweeps) = self.descend(problem, assignment, &mut rng);
+            total_sweeps += sweeps;
+            if best.as_ref().map_or(true, |(_, obj)| objective < *obj) {
+                best = Some((assignment, objective));
+            }
+        }
+        let (assignment, _) = best.expect("at least one restart runs");
+        let stats = SolverStats {
+            elapsed: start.elapsed(),
+            iterations: total_sweeps,
+            proven_optimal: false,
+            restarts,
+        };
+        problem.solution_from_assignment(assignment, stats)
+    }
+
+    /// One descent run from a given initial assignment. Returns the final
+    /// assignment, its objective and the number of sweeps performed.
+    fn descend(
+        &self,
+        problem: &HashingProblem,
+        mut assignment: Vec<usize>,
+        rng: &mut StdRng,
+    ) -> (Vec<usize>, f64, usize) {
+        let n = problem.len();
+        let b = problem.buckets;
+        let lambda = problem.lambda;
+        let frequencies = &problem.frequencies;
+        let features: &[Features] = if problem.uses_features() {
+            &problem.features
+        } else {
+            &[]
+        };
+
+        // Build bucket state from the initial assignment.
+        let mut buckets: Vec<Bucket> = (0..b).map(|_| Bucket::new()).collect();
+        for (i, &j) in assignment.iter().enumerate() {
+            let dist = buckets[j].distance_to_members(i, features);
+            buckets[j].insert(i, frequencies, dist);
+        }
+        let mut objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sweeps = 0usize;
+        for _ in 0..self.config.max_iterations {
+            sweeps += 1;
+            order.shuffle(rng);
+            for &i in &order {
+                let current = assignment[i];
+                // Remove i from its bucket. `distance_to_members` still counts
+                // i itself, but its self-distance is 0, so the value equals the
+                // distance to the *other* members — exactly what the
+                // similarity-error update needs.
+                let dist_current = buckets[current].distance_to_members(i, features);
+                buckets[current].remove(i, frequencies, dist_current);
+
+                // Evaluate the insertion cost into every bucket.
+                let mut best_bucket = current;
+                let mut best_delta = f64::INFINITY;
+                for (j, bucket) in buckets.iter().enumerate() {
+                    let est_with = bucket.estimation_error_with(i, frequencies);
+                    let est_delta = est_with - bucket.estimation_error;
+                    let dist = bucket.distance_to_members(i, features);
+                    let sim_delta = 2.0 * dist;
+                    let delta = lambda * est_delta + (1.0 - lambda) * sim_delta;
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best_bucket = j;
+                    }
+                }
+
+                let dist_best = buckets[best_bucket].distance_to_members(i, features);
+                buckets[best_bucket].insert(i, frequencies, dist_best);
+                assignment[i] = best_bucket;
+            }
+            let new_objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
+            let improvement = objective - new_objective;
+            objective = new_objective;
+            if improvement < self.config.tolerance {
+                break;
+            }
+        }
+        (assignment, objective, sweeps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmedian::solve_frequency_only;
+    use opthash_stream::Features;
+
+    fn clustered_problem(lambda: f64) -> HashingProblem {
+        // Two frequency groups and two feature groups that coincide.
+        let frequencies = vec![1.0, 2.0, 1.5, 100.0, 101.0, 99.0];
+        let features = vec![
+            Features::new(vec![0.0, 0.0]),
+            Features::new(vec![0.2, 0.1]),
+            Features::new(vec![0.1, 0.3]),
+            Features::new(vec![10.0, 10.0]),
+            Features::new(vec![10.2, 9.9]),
+            Features::new(vec![9.8, 10.1]),
+        ];
+        HashingProblem::new(frequencies, features, 2, lambda)
+    }
+
+    #[test]
+    fn recovers_obvious_two_cluster_structure() {
+        for &lambda in &[0.0, 0.5, 1.0] {
+            let p = clustered_problem(lambda);
+            let sol = BcdSolver::with_defaults().solve(&p);
+            assert_eq!(sol.assignment[0], sol.assignment[1]);
+            assert_eq!(sol.assignment[1], sol.assignment[2]);
+            assert_eq!(sol.assignment[3], sol.assignment[4]);
+            assert_eq!(sol.assignment[4], sol.assignment[5]);
+            assert_ne!(sol.assignment[0], sol.assignment[3], "lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn objective_never_worse_than_initial_assignment() {
+        let p = clustered_problem(0.5);
+        let solver = BcdSolver::with_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = solver.initial_assignment(&p, &mut rng);
+        let init_obj = p.objective(&init);
+        let sol = solver.solve(&p);
+        assert!(
+            sol.objective <= init_obj + 1e-9,
+            "bcd {} worse than init {init_obj}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn lambda_one_is_close_to_dp_optimum() {
+        let frequencies: Vec<f64> = vec![
+            1.0, 2.0, 3.0, 2.0, 1.0, 50.0, 52.0, 49.0, 51.0, 100.0, 101.0, 99.0, 10.0, 11.0, 9.0,
+        ];
+        let p = HashingProblem::frequency_only(frequencies, 4);
+        let dp = solve_frequency_only(&p);
+        let bcd = BcdSolver::new(BcdConfig {
+            restarts: 5,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        assert!(
+            bcd.estimation_error <= dp.estimation_error * 1.10 + 1e-9,
+            "bcd {} far above dp optimum {}",
+            bcd.estimation_error,
+            dp.estimation_error
+        );
+        assert!(bcd.estimation_error + 1e-9 >= dp.estimation_error * 0.9);
+    }
+
+    #[test]
+    fn all_init_strategies_produce_valid_assignments() {
+        let p = clustered_problem(0.7);
+        for init in [
+            InitStrategy::Random,
+            InitStrategy::SortedSplit,
+            InitStrategy::HeavyHitter,
+            InitStrategy::DpWarmStart,
+        ] {
+            let solver = BcdSolver::new(BcdConfig {
+                init,
+                ..BcdConfig::default()
+            });
+            let mut rng = StdRng::seed_from_u64(1);
+            let a = solver.initial_assignment(&p, &mut rng);
+            assert_eq!(a.len(), p.len());
+            assert!(a.iter().all(|&j| j < p.buckets), "{init:?} out of range");
+            let sol = solver.solve(&p);
+            assert_eq!(sol.assignment.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_init_isolates_heaviest_elements() {
+        let frequencies = vec![1.0, 2.0, 3.0, 1000.0, 900.0];
+        let p = HashingProblem::frequency_only(frequencies, 3);
+        let solver = BcdSolver::new(BcdConfig {
+            init: InitStrategy::HeavyHitter,
+            ..BcdConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = solver.initial_assignment(&p, &mut rng);
+        // heaviest two get buckets 0 and 1, the rest go to bucket 2
+        assert_eq!(a[3], 0);
+        assert_eq!(a[4], 1);
+        for &light in &a[0..3] {
+            assert_eq!(light, 2);
+        }
+    }
+
+    #[test]
+    fn sorted_split_init_balances_bucket_sizes() {
+        let frequencies: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let p = HashingProblem::frequency_only(frequencies, 3);
+        let solver = BcdSolver::new(BcdConfig {
+            init: InitStrategy::SortedSplit,
+            ..BcdConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = solver.initial_assignment(&p, &mut rng);
+        let mut sizes = vec![0usize; 3];
+        for &j in &a {
+            sizes[j] += 1;
+        }
+        assert_eq!(sizes, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = clustered_problem(0.5);
+        let cfg = BcdConfig {
+            seed: 99,
+            ..BcdConfig::default()
+        };
+        let a = BcdSolver::new(cfg).solve(&p);
+        let b = BcdSolver::new(cfg).solve(&p);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn multiple_restarts_never_hurt() {
+        let p = clustered_problem(0.5);
+        let single = BcdSolver::new(BcdConfig {
+            restarts: 1,
+            seed: 7,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        let multi = BcdSolver::new(BcdConfig {
+            restarts: 5,
+            seed: 7,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        assert!(multi.objective <= single.objective + 1e-9);
+        assert_eq!(multi.stats.restarts, 5);
+    }
+
+    #[test]
+    fn single_bucket_puts_everything_together() {
+        let p = HashingProblem::frequency_only(vec![1.0, 5.0, 9.0], 1);
+        let sol = BcdSolver::with_defaults().solve(&p);
+        assert_eq!(sol.assignment, vec![0, 0, 0]);
+        // est error = |1-5|+|5-5|+|9-5| = 8
+        assert!((sol.estimation_error - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty problem")]
+    fn empty_problem_panics() {
+        let p = HashingProblem::frequency_only(vec![], 2);
+        let _ = BcdSolver::with_defaults().solve(&p);
+    }
+
+    #[test]
+    fn more_buckets_never_increase_optimal_objective() {
+        let frequencies: Vec<f64> = vec![3.0, 8.0, 1.0, 9.0, 4.0, 7.0, 2.0, 6.0];
+        let mut last = f64::INFINITY;
+        for b in 1..=4 {
+            let p = HashingProblem::frequency_only(frequencies.clone(), b);
+            let sol = BcdSolver::new(BcdConfig {
+                restarts: 8,
+                ..BcdConfig::default()
+            })
+            .solve(&p);
+            assert!(
+                sol.objective <= last + 1e-9,
+                "objective should not grow with more buckets"
+            );
+            last = sol.objective;
+        }
+    }
+}

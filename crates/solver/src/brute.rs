@@ -1,0 +1,165 @@
+//! Exhaustive enumeration for very small instances.
+//!
+//! Enumerates every assignment of `n` elements to `b` buckets (with a
+//! canonical-labeling symmetry break so equivalent relabelings are visited
+//! once) and returns the one with the smallest Problem (1) objective. Useful
+//! only for `n` up to a dozen elements; the workspace uses it to validate the
+//! exact branch-and-bound solver and the DP in tests and as a correctness
+//! oracle in property tests.
+
+use crate::problem::{HashingProblem, HashingSolution, SolverStats};
+use std::time::Instant;
+
+/// Exhaustively finds an optimal assignment for a (tiny) problem.
+///
+/// # Panics
+/// Panics if the instance is larger than 14 elements, where enumeration
+/// would be hopeless.
+pub fn brute_force(problem: &HashingProblem) -> HashingSolution {
+    assert!(
+        problem.len() <= 14,
+        "brute force is only meant for tiny instances (n ≤ 14), got n = {}",
+        problem.len()
+    );
+    let start = Instant::now();
+    let n = problem.len();
+    if n == 0 {
+        return problem.solution_from_assignment(
+            Vec::new(),
+            SolverStats {
+                elapsed: start.elapsed(),
+                iterations: 0,
+                proven_optimal: true,
+                restarts: 0,
+            },
+        );
+    }
+    let b = problem.buckets.min(n);
+    let mut assignment = vec![0usize; n];
+    let mut best_assignment = vec![0usize; n];
+    let mut best_objective = f64::INFINITY;
+    let mut nodes = 0usize;
+
+    // Depth-first enumeration with canonical labeling: element i may use at
+    // most one bucket index beyond the largest index used so far. This visits
+    // each set partition into at most `b` parts exactly once.
+    fn recurse(
+        i: usize,
+        max_used: usize,
+        n: usize,
+        b: usize,
+        problem: &HashingProblem,
+        assignment: &mut Vec<usize>,
+        best_assignment: &mut Vec<usize>,
+        best_objective: &mut f64,
+        nodes: &mut usize,
+    ) {
+        if i == n {
+            *nodes += 1;
+            let obj = problem.objective(assignment);
+            if obj < *best_objective {
+                *best_objective = obj;
+                best_assignment.clone_from(assignment);
+            }
+            return;
+        }
+        let limit = (max_used + 1).min(b - 1);
+        for j in 0..=limit {
+            assignment[i] = j;
+            recurse(
+                i + 1,
+                max_used.max(j),
+                n,
+                b,
+                problem,
+                assignment,
+                best_assignment,
+                best_objective,
+                nodes,
+            );
+        }
+    }
+
+    // Element 0 is pinned to bucket 0; any assignment is a relabeling of one
+    // with that property.
+    assignment[0] = 0;
+    recurse(
+        1,
+        0,
+        n,
+        b,
+        problem,
+        &mut assignment,
+        &mut best_assignment,
+        &mut best_objective,
+        &mut nodes,
+    );
+
+    let stats = SolverStats {
+        elapsed: start.elapsed(),
+        iterations: nodes,
+        proven_optimal: true,
+        restarts: 0,
+    };
+    problem.solution_from_assignment(best_assignment, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_stream::Features;
+
+    #[test]
+    fn finds_obvious_optimum() {
+        let p = HashingProblem::frequency_only(vec![1.0, 1.0, 10.0, 10.0], 2);
+        let sol = brute_force(&p);
+        assert_eq!(sol.objective, 0.0);
+        assert_eq!(sol.assignment[0], sol.assignment[1]);
+        assert_eq!(sol.assignment[2], sol.assignment[3]);
+        assert_ne!(sol.assignment[0], sol.assignment[2]);
+        assert!(sol.stats.proven_optimal);
+    }
+
+    #[test]
+    fn single_bucket_has_no_choice() {
+        let p = HashingProblem::frequency_only(vec![2.0, 4.0, 9.0], 1);
+        let sol = brute_force(&p);
+        assert_eq!(sol.assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn uses_features_when_lambda_below_one() {
+        // Frequencies are identical, so only similarity matters: optimal split
+        // is by feature proximity.
+        let p = HashingProblem::new(
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![
+                Features::new(vec![0.0]),
+                Features::new(vec![0.1]),
+                Features::new(vec![9.0]),
+                Features::new(vec![9.1]),
+            ],
+            2,
+            0.0,
+        );
+        let sol = brute_force(&p);
+        assert_eq!(sol.assignment[0], sol.assignment[1]);
+        assert_eq!(sol.assignment[2], sol.assignment[3]);
+        assert_ne!(sol.assignment[0], sol.assignment[2]);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_solved() {
+        let p = HashingProblem::frequency_only(vec![], 3);
+        let sol = brute_force(&p);
+        assert!(sol.assignment.is_empty());
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny instances")]
+    fn too_large_instance_panics() {
+        let p = HashingProblem::frequency_only(vec![1.0; 20], 2);
+        let _ = brute_force(&p);
+    }
+}

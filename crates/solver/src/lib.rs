@@ -1,0 +1,41 @@
+//! # opthash-solver
+//!
+//! Optimization algorithms that learn the optimal hashing scheme of
+//! Section 4 of the paper. Given the observed prefix frequencies `f⁰`, the
+//! element features `x`, a bucket count `b` and the trade-off weight `λ`,
+//! these solvers produce an assignment of the `n` prefix elements to the `b`
+//! buckets minimizing
+//!
+//! ```text
+//! λ · Σ_j Σ_{i∈I_j} |f⁰_i − μ_j|                (estimation error)
+//! + (1−λ) · Σ_j Σ_{(i,k)∈I_j×I_j} ‖x_i − x_k‖₂  (similarity error)
+//! ```
+//!
+//! Three solvers are provided, mirroring the paper's `milp` / `bcd` / `dp`:
+//!
+//! * [`kmedian`] — exact dynamic programming for the `λ = 1` special case
+//!   (Problem (3); 1-D k-median clustering), in `O(n²b)` or
+//!   `O(n·b·log n)` via divide-and-conquer,
+//! * [`bcd`] — the block coordinate descent heuristic of Algorithm 1 with
+//!   incremental bucket statistics and several initialization strategies,
+//! * [`exact`] — an exact branch-and-bound solver for the general `λ` case,
+//!   the workspace's substitute for solving the MILP reformulation
+//!   (Problem (2)) with Gurobi; it returns the same optimal assignment for
+//!   the instance sizes the paper uses the MILP on,
+//! * [`brute`] — exhaustive enumeration for very small instances, used to
+//!   validate the other solvers in tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bcd;
+pub mod brute;
+pub mod exact;
+pub mod kmedian;
+pub mod problem;
+
+pub use bcd::{BcdConfig, BcdSolver, InitStrategy};
+pub use brute::brute_force;
+pub use exact::{ExactConfig, ExactSolver};
+pub use kmedian::{kmedian_dp, KMedianResult};
+pub use problem::{BucketStats, HashingProblem, HashingSolution, SolverStats};

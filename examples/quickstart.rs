@@ -1,0 +1,80 @@
+//! Quickstart: learn a hashing scheme from a stream prefix, process the rest
+//! of the stream, and compare the learned estimator against a Count-Min
+//! Sketch of the same size.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use opthash_repro::prelude::*;
+use opthash_repro::opthash::SolverKind;
+use opthash_solver::BcdConfig;
+
+fn main() {
+    // 1. Generate a synthetic group-structured workload (Section 6.1 of the
+    //    paper): 6 groups of elements, heavy hitters in the small groups.
+    let dataset = GroupDataset::generate(GroupConfig::with_groups(6));
+    let (prefix_stream, continuation) = dataset.generate_experiment_streams(42);
+    println!(
+        "universe: {} elements, prefix: {} arrivals, continuation: {} arrivals",
+        dataset.universe_size(),
+        prefix_stream.len(),
+        continuation.len()
+    );
+
+    // 2. Learn the optimal hashing scheme from the observed prefix.
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+    let buckets = 12;
+    let mut opt_hash = opthash_repro::opthash::OptHashBuilder::new(buckets)
+        .lambda(0.5)
+        .solver(SolverKind::Bcd(BcdConfig::default()))
+        .classifier(ClassifierKind::Cart)
+        .train(&prefix);
+    let stats = opt_hash.stats().clone();
+    println!(
+        "trained opt-hash: {} stored elements, {} buckets, objective {:.2}, classifier accuracy {:.2}",
+        stats.stored_elements, stats.buckets, stats.objective, stats.classifier_train_accuracy
+    );
+
+    // 3. Set up a Count-Min Sketch with the same memory footprint.
+    let budget_bytes = opt_hash.space_bytes();
+    let mut count_min = CountMinSketch::with_total_buckets(budget_bytes / 4, 4, 7);
+    println!(
+        "both estimators use ≈{budget_bytes} bytes ({} total buckets for count-min)",
+        budget_bytes / 4
+    );
+
+    // 4. Replay the prefix into the Count-Min Sketch (opt-hash already folded
+    //    the prefix counts in), then process the continuation with both.
+    count_min.update_stream(&prefix_stream);
+    for arrival in continuation.iter() {
+        opt_hash.update(arrival);
+        count_min.update(arrival);
+    }
+
+    // 5. Compare both estimators against the exact frequencies.
+    let mut truth = prefix_stream.frequencies();
+    truth.merge(&continuation.frequencies());
+    let mut opt_metrics = ErrorMetrics::new();
+    let mut cms_metrics = ErrorMetrics::new();
+    for (id, f) in truth.iter() {
+        let element = dataset
+            .stream_element(id)
+            .expect("every streamed element exists in the universe");
+        opt_metrics.observe(f as f64, opt_hash.estimate(&element));
+        cms_metrics.observe(f as f64, count_min.estimate(&element));
+    }
+
+    println!("\n                         opt-hash    count-min");
+    println!(
+        "average absolute error   {:>9.2}    {:>9.2}",
+        opt_metrics.average_absolute_error(),
+        cms_metrics.average_absolute_error()
+    );
+    println!(
+        "expected absolute error  {:>9.2}    {:>9.2}",
+        opt_metrics.expected_absolute_error(),
+        cms_metrics.expected_absolute_error()
+    );
+}

@@ -1,0 +1,31 @@
+//! Root helper crate for the `opthash` reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories can exercise the public API of every workspace crate from a
+//! single place. It re-exports the crates so examples can write
+//! `use opthash_repro::prelude::*;`.
+
+pub use opthash;
+pub use opthash_datagen as datagen;
+pub use opthash_ml as ml;
+pub use opthash_sketch as sketch;
+pub use opthash_solver as solver;
+pub use opthash_stream as stream;
+
+/// Convenience re-exports of the most commonly used types across the
+/// workspace, mirroring what a downstream user of the published crates would
+/// import.
+pub mod prelude {
+    pub use opthash::{
+        AdaptiveOptHash, EstimatorStats, OptHash, OptHashBuilder, OptHashConfig, SolverKind,
+    };
+    pub use opthash_datagen::groups::{GroupConfig, GroupDataset};
+    pub use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
+    pub use opthash_ml::ClassifierKind;
+    pub use opthash_sketch::{BloomFilter, CountMinSketch, CountSketch, LearnedCountMin};
+    pub use opthash_solver::{BcdConfig, ExactConfig, HashingProblem, HashingSolution};
+    pub use opthash_stream::{
+        ElementId, ErrorMetrics, Features, FrequencyEstimator, FrequencyVector, SpaceBudget,
+        Stream, StreamElement, StreamPrefix,
+    };
+}

@@ -1,0 +1,215 @@
+//! End-to-end integration tests on the synthetic group workload (Section 6):
+//! learn a hashing scheme from a prefix, stream the continuation, and check
+//! that the learned estimator behaves the way the paper reports.
+
+use opthash_repro::opthash::{OptHashBuilder, SolverKind};
+use opthash_repro::prelude::*;
+use opthash_solver::BcdConfig;
+
+fn setup(groups: usize, fraction_seen: f64, seed: u64) -> (GroupDataset, Stream, Stream) {
+    let dataset = GroupDataset::generate(GroupConfig {
+        num_groups: groups,
+        fraction_seen,
+        seed,
+        ..GroupConfig::default()
+    });
+    let (prefix, continuation) = dataset.generate_experiment_streams(seed + 1);
+    (dataset, prefix, continuation)
+}
+
+fn evaluate<E: FrequencyEstimator>(
+    estimator: &E,
+    dataset: &GroupDataset,
+    truth: &FrequencyVector,
+) -> ErrorMetrics {
+    let mut metrics = ErrorMetrics::new();
+    for (id, f) in truth.iter() {
+        let element = dataset.stream_element(id).expect("element exists");
+        metrics.observe(f as f64, estimator.estimate(&element));
+    }
+    metrics
+}
+
+#[test]
+fn opt_hash_beats_count_min_at_equal_space_on_group_workload() {
+    let (dataset, prefix_stream, continuation) = setup(7, 0.5, 3);
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+
+    // λ = 1 with the exact DP, as in the paper's real-world configuration:
+    // buckets group elements of similar observed frequency, so the heavy
+    // hitters end up isolated and both error metrics improve.
+    let mut opt_hash = OptHashBuilder::new(32)
+        .lambda(1.0)
+        .solver(SolverKind::Dp)
+        .classifier(ClassifierKind::Cart)
+        .train(&prefix);
+    let budget_buckets = opt_hash.space_bytes() / 4;
+    let mut count_min = CountMinSketch::with_total_buckets(budget_buckets, 4, 9);
+
+    count_min.update_stream(&prefix_stream);
+    for arrival in continuation.iter() {
+        opt_hash.update(arrival);
+        count_min.update(arrival);
+    }
+    assert!(count_min.space_bytes() <= opt_hash.space_bytes());
+
+    let mut truth = prefix_stream.frequencies();
+    truth.merge(&continuation.frequencies());
+    let opt_metrics = evaluate(&opt_hash, &dataset, &truth);
+    let cms_metrics = evaluate(&count_min, &dataset, &truth);
+
+    assert!(
+        opt_metrics.average_absolute_error() < cms_metrics.average_absolute_error(),
+        "opt-hash {:.2} should beat count-min {:.2} on average error",
+        opt_metrics.average_absolute_error(),
+        cms_metrics.average_absolute_error()
+    );
+    assert!(
+        opt_metrics.expected_absolute_error() < cms_metrics.expected_absolute_error(),
+        "opt-hash {:.2} should beat count-min {:.2} on expected error",
+        opt_metrics.expected_absolute_error(),
+        cms_metrics.expected_absolute_error()
+    );
+}
+
+#[test]
+fn unseen_elements_get_reasonable_estimates_via_the_classifier() {
+    let (dataset, prefix_stream, continuation) = setup(8, 0.33, 5);
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+    let mut estimator = OptHashBuilder::new(16)
+        .lambda(0.5)
+        .solver(SolverKind::Bcd(BcdConfig::default()))
+        .classifier(ClassifierKind::Cart)
+        .train(&prefix);
+    for arrival in continuation.iter() {
+        estimator.update(arrival);
+    }
+
+    let mut truth = prefix_stream.frequencies();
+    truth.merge(&continuation.frequencies());
+
+    // Split the error between elements stored from the prefix and unseen ones.
+    let mut seen = ErrorMetrics::new();
+    let mut unseen = ErrorMetrics::new();
+    for (id, f) in truth.iter() {
+        let element = dataset.stream_element(id).unwrap();
+        let estimate = estimator.estimate(&element);
+        if estimator.is_stored(id) {
+            seen.observe(f as f64, estimate);
+        } else {
+            unseen.observe(f as f64, estimate);
+        }
+    }
+    assert!(unseen.count > 0, "the workload must contain unseen elements");
+    assert!(seen.count > 0);
+    // Unseen estimates come from bucket averages of similar elements; their
+    // error should stay within a small multiple of the heaviest frequency's
+    // scale rather than exploding.
+    let max_freq = truth.max_frequency() as f64;
+    assert!(
+        unseen.average_absolute_error() < max_freq,
+        "unseen error {:.2} should stay below the max frequency {max_freq}",
+        unseen.average_absolute_error()
+    );
+}
+
+#[test]
+fn more_memory_reduces_opt_hash_error() {
+    let (dataset, prefix_stream, continuation) = setup(7, 0.5, 11);
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+    let mut errors = Vec::new();
+    for buckets in [2usize, 8, 64] {
+        let mut estimator = OptHashBuilder::new(buckets)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
+        for arrival in continuation.iter() {
+            estimator.update(arrival);
+        }
+        let mut truth = prefix_stream.frequencies();
+        truth.merge(&continuation.frequencies());
+        errors.push(evaluate(&estimator, &dataset, &truth).average_absolute_error());
+    }
+    assert!(
+        errors[2] < errors[0],
+        "64 buckets ({:.2}) should beat 2 buckets ({:.2})",
+        errors[2],
+        errors[0]
+    );
+}
+
+#[test]
+fn adaptive_mode_improves_unseen_tracking_end_to_end() {
+    let (dataset, prefix_stream, continuation) = setup(8, 0.33, 7);
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+    let build = || {
+        OptHashBuilder::new(24)
+            .lambda(0.5)
+            .solver(SolverKind::Bcd(BcdConfig::default()))
+            .classifier(ClassifierKind::Cart)
+            .seed(1)
+    };
+    let mut static_est = build().train(&prefix);
+    let mut adaptive_est = build().train_adaptive(&prefix, 1 << 15);
+    for arrival in continuation.iter() {
+        static_est.update(arrival);
+        adaptive_est.update(arrival);
+    }
+    let mut truth = prefix_stream.frequencies();
+    truth.merge(&continuation.frequencies());
+
+    let mut static_unseen = ErrorMetrics::new();
+    let mut adaptive_unseen = ErrorMetrics::new();
+    for (id, f) in truth.iter() {
+        if static_est.is_stored(id) {
+            continue;
+        }
+        let element = dataset.stream_element(id).unwrap();
+        static_unseen.observe(f as f64, static_est.estimate(&element));
+        adaptive_unseen.observe(f as f64, adaptive_est.estimate(&element));
+    }
+    assert!(adaptive_unseen.count > 0);
+    assert!(
+        adaptive_unseen.average_absolute_error() <= static_unseen.average_absolute_error() * 1.05,
+        "adaptive ({:.2}) should not be worse than static ({:.2}) on unseen elements",
+        adaptive_unseen.average_absolute_error(),
+        static_unseen.average_absolute_error()
+    );
+}
+
+#[test]
+fn all_three_solvers_produce_working_estimators() {
+    let (dataset, prefix_stream, continuation) = setup(5, 0.5, 13);
+    let prefix = StreamPrefix::from_stream(prefix_stream.clone());
+    let mut truth = prefix_stream.frequencies();
+    truth.merge(&continuation.frequencies());
+
+    let solvers: Vec<(SolverKind, f64)> = vec![
+        (SolverKind::Dp, 1.0),
+        (SolverKind::Bcd(BcdConfig::default()), 0.5),
+        (
+            SolverKind::Exact(opthash_solver::ExactConfig {
+                max_nodes: 20_000,
+                ..Default::default()
+            }),
+            0.5,
+        ),
+    ];
+    for (solver, lambda) in solvers {
+        let mut estimator = OptHashBuilder::new(8)
+            .lambda(lambda)
+            .solver(solver)
+            .max_stored_elements(60)
+            .train(&prefix);
+        for arrival in continuation.iter() {
+            estimator.update(arrival);
+        }
+        let metrics = evaluate(&estimator, &dataset, &truth);
+        assert!(
+            metrics.average_absolute_error().is_finite(),
+            "{} produced a non-finite error",
+            solver.name()
+        );
+        assert!(metrics.count > 0);
+    }
+}

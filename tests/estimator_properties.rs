@@ -1,0 +1,154 @@
+//! Property-based tests of the `opt-hash` estimator itself: conservation of
+//! frequency mass across buckets, validity of bucket routing, space
+//! accounting, and the metric identities the experiments rely on.
+
+use opthash_repro::opthash::{OptHashBuilder, SolverKind};
+use opthash_repro::prelude::*;
+use opthash_stream::StreamElement;
+use proptest::prelude::*;
+
+/// Strategy producing a non-empty prefix: pairs of (element id, count).
+fn prefix_counts(max_distinct: u64, max_count: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::btree_map(0u64..max_distinct, 1u64..max_count, 1..40)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn build_prefix(counts: &[(u64, u64)]) -> StreamPrefix {
+    let pairs: Vec<(StreamElement, u64)> = counts
+        .iter()
+        .map(|&(id, count)| {
+            // Give each element a simple 2-D feature derived from its ID so
+            // the classifier always has something to learn from.
+            let features = vec![(id % 13) as f64, (id % 7) as f64];
+            (StreamElement::new(id, features), count)
+        })
+        .collect();
+    StreamPrefix::from_counts(pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After training, the bucket counters exactly partition the prefix
+    /// frequency mass, and the per-bucket element counts partition the
+    /// stored elements.
+    #[test]
+    fn training_conserves_frequency_mass(
+        counts in prefix_counts(500, 200),
+        buckets in 1usize..12,
+    ) {
+        let prefix = build_prefix(&counts);
+        let estimator = OptHashBuilder::new(buckets)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
+        let mass: f64 = (0..estimator.buckets()).map(|j| estimator.bucket_count(j)).sum();
+        let expected: f64 = counts.iter().map(|&(_, c)| c as f64).sum();
+        prop_assert!((mass - expected).abs() < 1e-6);
+        let elements: usize = (0..estimator.buckets())
+            .map(|j| estimator.bucket_element_count(j))
+            .sum();
+        prop_assert_eq!(elements, prefix.distinct_len());
+    }
+
+    /// Estimates are always finite and non-negative, for stored and unseen
+    /// elements alike, before and after updates.
+    #[test]
+    fn estimates_are_finite_and_non_negative(
+        counts in prefix_counts(200, 100),
+        buckets in 1usize..8,
+        extra_updates in prop::collection::vec(0u64..400, 0..100),
+    ) {
+        let prefix = build_prefix(&counts);
+        let mut estimator = OptHashBuilder::new(buckets)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
+        for id in extra_updates {
+            let element = StreamElement::new(id, vec![(id % 13) as f64, (id % 7) as f64]);
+            estimator.update(&element);
+            let estimate = estimator.estimate(&element);
+            prop_assert!(estimate.is_finite());
+            prop_assert!(estimate >= 0.0);
+        }
+        // unseen query
+        let ghost = StreamElement::new(9_999_999u64, vec![1.0, 2.0]);
+        let estimate = estimator.estimate(&ghost);
+        prop_assert!(estimate.is_finite() && estimate >= 0.0);
+    }
+
+    /// Every element (stored or not) is routed to a valid bucket index.
+    #[test]
+    fn bucket_routing_is_always_in_range(
+        counts in prefix_counts(300, 50),
+        buckets in 1usize..10,
+        probes in prop::collection::vec(0u64..1_000, 1..50),
+    ) {
+        let prefix = build_prefix(&counts);
+        let estimator = OptHashBuilder::new(buckets)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
+        for id in probes {
+            let element = StreamElement::new(id, vec![(id % 13) as f64, (id % 7) as f64]);
+            prop_assert!(estimator.bucket_of(&element) < buckets);
+        }
+    }
+
+    /// Stored elements are exactly the prefix elements (when no sampling cap
+    /// is applied), and each estimates to its bucket mean of prefix
+    /// frequencies right after training.
+    #[test]
+    fn stored_elements_match_prefix(counts in prefix_counts(300, 80), buckets in 1usize..6) {
+        let prefix = build_prefix(&counts);
+        let estimator = OptHashBuilder::new(buckets)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
+        prop_assert_eq!(estimator.stored_elements(), prefix.distinct_len());
+        for &(id, _) in &counts {
+            prop_assert!(estimator.is_stored(ElementId(id)));
+        }
+    }
+
+    /// Space accounting is monotone: storing more elements or using more
+    /// buckets never reports fewer bytes, and the adaptive variant always
+    /// costs at least as much as the static one.
+    #[test]
+    fn space_accounting_is_monotone(counts in prefix_counts(300, 50)) {
+        let prefix = build_prefix(&counts);
+        let small = OptHashBuilder::new(2).lambda(1.0).solver(SolverKind::Dp).train(&prefix);
+        let large = OptHashBuilder::new(16).lambda(1.0).solver(SolverKind::Dp).train(&prefix);
+        prop_assert!(small.space_bytes() <= large.space_bytes());
+        let adaptive = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train_adaptive(&prefix, 1024);
+        prop_assert!(adaptive.space_bytes() >= small.space_bytes());
+    }
+
+    /// The two paper metrics agree on their degenerate cases: perfect
+    /// estimates give zero error, and the expected-magnitude error is always
+    /// within [min, max] of the per-element errors.
+    #[test]
+    fn error_metric_identities(
+        truth in prop::collection::vec(1u32..10_000u32, 1..100),
+        noise in prop::collection::vec(0i32..100i32, 1..100),
+    ) {
+        let n = truth.len().min(noise.len());
+        let mut perfect = ErrorMetrics::new();
+        let mut noisy = ErrorMetrics::new();
+        let mut max_err = 0.0f64;
+        for i in 0..n {
+            let t = f64::from(truth[i]);
+            perfect.observe(t, t);
+            let e = t + f64::from(noise[i]);
+            noisy.observe(t, e);
+            max_err = max_err.max(f64::from(noise[i]).abs());
+        }
+        prop_assert_eq!(perfect.average_absolute_error(), 0.0);
+        prop_assert_eq!(perfect.expected_absolute_error(), 0.0);
+        prop_assert!(noisy.average_absolute_error() <= max_err + 1e-9);
+        prop_assert!(noisy.expected_absolute_error() <= max_err + 1e-9);
+    }
+}

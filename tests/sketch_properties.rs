@@ -1,0 +1,132 @@
+//! Property-based tests of the sketch substrate: the structural guarantees
+//! every baseline relies on (Count-Min one-sided error, Bloom filter
+//! no-false-negatives, Learned Count-Min exactness on oracle heavy hitters)
+//! must hold for arbitrary streams.
+
+use opthash_repro::prelude::*;
+use opthash_sketch::CountSketch;
+use opthash_stream::StreamElement;
+use proptest::prelude::*;
+
+/// Strategy for a small stream of element IDs with repetitions.
+fn id_stream(max_distinct: u64, max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..max_distinct, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Count-Min never under-estimates any element, seen or unseen.
+    #[test]
+    fn count_min_never_underestimates(
+        ids in id_stream(200, 400),
+        width in 4usize..64,
+        depth in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let stream = Stream::from_ids(ids);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cms = CountMinSketch::new(width, depth, seed);
+        cms.update_stream(&stream);
+        for (id, f) in truth.iter() {
+            prop_assert!(cms.query(id) >= f);
+        }
+        // unseen elements can only be over-estimated (>= 0 trivially)
+        prop_assert!(cms.query(ElementId(10_000)) as i64 >= 0);
+    }
+
+    /// The total mass in each Count-Min level equals the stream length, so no
+    /// update is ever lost or double counted at a level.
+    #[test]
+    fn count_min_total_updates_equal_stream_length(
+        ids in id_stream(100, 300),
+        seed in 0u64..10,
+    ) {
+        let stream = Stream::from_ids(ids.clone());
+        let mut cms = CountMinSketch::new(32, 3, seed);
+        cms.update_stream(&stream);
+        prop_assert_eq!(cms.total_updates() as usize, ids.len());
+    }
+
+    /// Bloom filters have no false negatives, regardless of sizing.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        ids in prop::collection::hash_set(0u64..5_000, 1..200),
+        bits_exp in 6u32..14,
+        hashes in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let mut bloom = BloomFilter::new(1usize << bits_exp, hashes, seed);
+        for &id in &ids {
+            bloom.insert(ElementId(id));
+        }
+        for &id in &ids {
+            prop_assert!(bloom.contains(ElementId(id)));
+        }
+    }
+
+    /// `insert_and_check_new` never reports an already-inserted element as
+    /// new (false positives may hide genuinely new elements, never the
+    /// reverse).
+    #[test]
+    fn bloom_insert_and_check_new_is_monotone(ids in id_stream(50, 150), seed in 0u64..20) {
+        let mut bloom = BloomFilter::new(1 << 12, 4, seed);
+        let mut inserted = std::collections::HashSet::new();
+        for id in ids {
+            let was_new = bloom.insert_and_check_new(ElementId(id));
+            if inserted.contains(&id) {
+                prop_assert!(!was_new, "element {id} reported new after a prior insert");
+            }
+            inserted.insert(id);
+        }
+    }
+
+    /// Learned Count-Min with an ideal oracle is exact on every oracle
+    /// element and never under-estimates the rest.
+    #[test]
+    fn learned_cms_is_exact_on_oracle_elements(
+        ids in id_stream(150, 400),
+        heavy_count in 1usize..20,
+        seed in 0u64..20,
+    ) {
+        let stream = Stream::from_ids(ids);
+        let truth = FrequencyVector::from_stream(&stream);
+        let heavy: Vec<ElementId> = truth.ids_by_rank().into_iter().take(heavy_count).collect();
+        let mut lcms = LearnedCountMin::new(heavy.clone(), 64, 2, seed);
+        lcms.update_stream(&stream);
+        for id in heavy {
+            prop_assert_eq!(lcms.query(id), truth.frequency(id));
+        }
+        for (id, f) in truth.iter() {
+            prop_assert!(lcms.query(id) >= f);
+        }
+    }
+
+    /// The Count Sketch is exact when it is wide enough that no collisions
+    /// occur (width much larger than the universe).
+    #[test]
+    fn count_sketch_is_exact_without_collisions(ids in id_stream(20, 200), seed in 0u64..20) {
+        let stream = Stream::from_ids(ids);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cs = CountSketch::new(1 << 14, 5, seed);
+        cs.update_stream(&stream);
+        for (id, f) in truth.iter() {
+            let est = cs.estimate(&StreamElement::without_features(id));
+            prop_assert!((est - f as f64).abs() < 1e-9, "id {id}: est {est} vs {f}");
+        }
+    }
+
+    /// Space accounting: a Count-Min sized from a budget never exceeds it,
+    /// and larger budgets never produce smaller sketches.
+    #[test]
+    fn count_min_budget_sizing_is_monotone(kb1 in 1u32..50, kb2 in 1u32..50, depth in 1usize..5) {
+        let (small_kb, large_kb) = if kb1 <= kb2 { (kb1, kb2) } else { (kb2, kb1) };
+        let small_budget = SpaceBudget::from_kb(f64::from(small_kb));
+        let large_budget = SpaceBudget::from_kb(f64::from(large_kb));
+        let small = CountMinSketch::with_total_buckets(small_budget.total_buckets(), depth, 1);
+        let large = CountMinSketch::with_total_buckets(large_budget.total_buckets(), depth, 1);
+        prop_assert!(small.space_bytes() <= small_budget.bytes().max(depth * 4));
+        prop_assert!(large.space_bytes() <= large_budget.bytes().max(depth * 4));
+        prop_assert!(small.total_buckets() <= large.total_buckets());
+    }
+}

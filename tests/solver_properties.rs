@@ -1,0 +1,140 @@
+//! Property-based tests of the optimization layer: the relationships between
+//! the dp / bcd / exact solvers that the paper relies on (optimality of the
+//! DP for λ = 1, BCD never worse than its initialization, the exact solver
+//! matching brute force) must hold on arbitrary inputs, not just the
+//! hand-picked examples of the unit tests.
+
+use opthash_solver::{
+    brute_force, kmedian, BcdConfig, BcdSolver, ExactConfig, ExactSolver, HashingProblem,
+};
+use opthash_stream::{assignment_errors, Features};
+use proptest::prelude::*;
+
+/// Strategy for small frequency vectors with positive entries.
+fn frequencies(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1u32..500u32, 2..max_len).prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+/// Deterministic 2-D features derived from the frequencies, so similarity
+/// structure exists without needing a second random input.
+fn features_for(freqs: &[f64]) -> Vec<Features> {
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| Features::new(vec![(f % 37.0) - 18.0, ((i * 7) % 23) as f64 - 11.0]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The λ = 1 DP is optimal over contiguous partitions of the sorted
+    /// frequencies: in particular it can never lose to the sorted-split
+    /// initialization (which is contiguous), and a BCD run warm-started from
+    /// the DP solution can only keep or improve the objective (the descent
+    /// property of Algorithm 1).
+    #[test]
+    fn dp_dominates_sorted_split_and_warm_started_bcd_descends(
+        freqs in frequencies(24),
+        buckets in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let problem = HashingProblem::frequency_only(freqs.clone(), buckets);
+        let dp = kmedian::solve_frequency_only(&problem);
+
+        // Sorted-split: contiguous chunks of the frequency-sorted elements.
+        let solver = BcdSolver::new(BcdConfig {
+            init: opthash_solver::InitStrategy::SortedSplit,
+            seed,
+            ..BcdConfig::default()
+        });
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let sorted_split = solver.initial_assignment(&problem, &mut rng);
+        let sorted_split_error =
+            assignment_errors(&freqs, &[], &sorted_split, buckets, 1.0).estimation_error;
+        prop_assert!(dp.estimation_error <= sorted_split_error + 1e-6,
+            "dp {} should not exceed the contiguous sorted split {}",
+            dp.estimation_error, sorted_split_error);
+
+        // Warm-starting BCD from the DP solution never degrades it.
+        let warm = BcdSolver::new(BcdConfig {
+            init: opthash_solver::InitStrategy::DpWarmStart,
+            seed,
+            ..BcdConfig::default()
+        })
+        .solve(&problem);
+        prop_assert!(warm.objective <= dp.objective + 1e-6,
+            "warm-started bcd {} should not exceed dp {}", warm.objective, dp.objective);
+    }
+
+    /// Every solver returns a complete, in-range assignment whose recomputed
+    /// objective matches the one it reports.
+    #[test]
+    fn solvers_report_consistent_objectives(
+        freqs in frequencies(16),
+        buckets in 1usize..5,
+        lambda_percent in 0u8..=100,
+    ) {
+        let lambda = f64::from(lambda_percent) / 100.0;
+        let n = freqs.len();
+        let problem = HashingProblem::new(freqs.clone(), Vec::new(), buckets, lambda);
+        let bcd = BcdSolver::with_defaults().solve(&problem);
+        prop_assert_eq!(bcd.assignment.len(), n);
+        prop_assert!(bcd.assignment.iter().all(|&j| j < buckets));
+        let recomputed = assignment_errors(&freqs, &[], &bcd.assignment, buckets, lambda);
+        prop_assert!((recomputed.overall_error() - bcd.objective).abs() < 1e-6);
+    }
+
+    /// On tiny instances the branch-and-bound solver matches brute force for
+    /// any λ, which is exactly the "solves Problem (2) to optimality" claim.
+    #[test]
+    fn exact_matches_brute_force(
+        freqs in frequencies(7),
+        lambda_percent in prop::sample::select(vec![0u8, 25, 50, 75, 100]),
+        seed in 0u64..20,
+    ) {
+        let lambda = f64::from(lambda_percent) / 100.0;
+        let features = features_for(&freqs);
+        let problem = HashingProblem::new(freqs, features, 3, lambda);
+        let exact = ExactSolver::new(ExactConfig { seed, ..ExactConfig::default() }).solve(&problem);
+        let brute = brute_force(&problem);
+        prop_assert!((exact.objective - brute.objective).abs() < 1e-6,
+            "exact {} vs brute {}", exact.objective, brute.objective);
+        prop_assert!(exact.stats.proven_optimal);
+    }
+
+    /// k-median DP invariants: cost is non-negative, non-increasing in the
+    /// number of clusters, and zero when every element gets its own cluster.
+    #[test]
+    fn kmedian_cost_is_monotone_in_cluster_count(values in frequencies(20)) {
+        let n = values.len();
+        let mut previous = f64::INFINITY;
+        for k in 1..=n {
+            let result = kmedian::kmedian_dp(&values, k);
+            prop_assert!(result.cost >= -1e-9);
+            prop_assert!(result.cost <= previous + 1e-9,
+                "cost increased from {previous} to {} at k={k}", result.cost);
+            previous = result.cost;
+        }
+        prop_assert!(kmedian::kmedian_dp(&values, n).cost.abs() < 1e-9);
+    }
+
+    /// The similarity term never goes negative and vanishes when λ = 1.
+    #[test]
+    fn objective_terms_are_non_negative(
+        freqs in frequencies(12),
+        lambda_percent in 0u8..=100,
+        buckets in 1usize..4,
+    ) {
+        let lambda = f64::from(lambda_percent) / 100.0;
+        let features = features_for(&freqs);
+        let problem = HashingProblem::new(freqs, features, buckets, lambda);
+        let solution = BcdSolver::with_defaults().solve(&problem);
+        prop_assert!(solution.estimation_error >= 0.0);
+        prop_assert!(solution.similarity_error >= 0.0);
+        prop_assert!(solution.objective >= 0.0);
+        if (lambda - 1.0).abs() < f64::EPSILON {
+            prop_assert!((solution.objective - solution.estimation_error).abs() < 1e-9);
+        }
+    }
+}
