@@ -1,0 +1,128 @@
+//! Ingest-throughput benchmarks for the sharded batched engine: a
+//! 1M-arrival Zipf stream (universe 100k, exponent 1.3 — the head-heavy end
+//! of the skews reported for web query logs, whose Zipf exponents range
+//! from ≈1 to well above 1.4 across the classic query-log studies) pushed
+//! through a Count-Min backend at a paper-scale size (8192 × 4 counters =
+//! 128 KB, Section 7.4's budget band).
+//!
+//! Compared configurations, all consuming the same in-memory
+//! `Vec<StreamElement>`:
+//!
+//! * `single_thread_update_stream` — the pre-engine ingestion path: one
+//!   `FrequencyEstimator::update` (→ `CountMinSketch::add`) per arrival,
+//! * `engine/{1,2,4,8}` — the [`opthash_engine::IngestEngine`] with that
+//!   many shards, fed through its bulk `ingest_batch` path (per-shard
+//!   batches pre-aggregate duplicate arrivals, full batches drain to
+//!   shard-local forks, queries merge).
+//!
+//! After the criterion group, `speedup_summary` re-measures baseline and
+//! engine interleaved (best of several alternating passes, so machine noise
+//! hits both sides equally), prints Melem/s and speedups, and asserts the
+//! engine's ≥ 2× acceptance target at 4 shards.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opthash_datagen::ZipfSampler;
+use opthash_engine::{EngineConfig, IngestEngine};
+use opthash_sketch::CountMinSketch;
+use opthash_stream::{FrequencyEstimator, StreamElement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const UNIVERSE: usize = 100_000;
+const ARRIVALS: usize = 1_000_000;
+const EXPONENT: f64 = 1.3;
+const WIDTH: usize = 8_192;
+const DEPTH: usize = 4;
+const BATCH: usize = 16_384;
+
+fn zipf_elements(n: usize) -> Vec<StreamElement> {
+    let sampler = ZipfSampler::new(UNIVERSE, EXPONENT);
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..n)
+        .map(|_| StreamElement::without_features(sampler.sample(&mut rng) as u64))
+        .collect()
+}
+
+fn baseline_pass(elements: &[StreamElement]) -> u64 {
+    let mut cms = CountMinSketch::new(WIDTH, DEPTH, 1);
+    for element in elements {
+        cms.update(element);
+    }
+    cms.total_updates()
+}
+
+fn engine_pass(elements: &[StreamElement], shards: usize) -> u64 {
+    let mut engine = IngestEngine::new(
+        CountMinSketch::new(WIDTH, DEPTH, 1),
+        EngineConfig::with_shards(shards).batch_capacity(BATCH),
+    );
+    engine.ingest_batch(elements);
+    engine.finish().total_updates()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let elements = zipf_elements(ARRIVALS);
+    let mut group = c.benchmark_group("engine_ingest_1m_zipf");
+    group.sample_size(10);
+
+    group.bench_function("single_thread_update_stream", |b| {
+        b.iter(|| black_box(baseline_pass(&elements)))
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("engine", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(engine_pass(&elements, shards)))
+        });
+    }
+    group.finish();
+}
+
+/// Interleaved best-of-`TRIALS` measurement: alternating baseline/engine
+/// passes so that machine-load noise affects both sides symmetrically.
+fn speedup_summary(_c: &mut Criterion) {
+    const TRIALS: usize = 5;
+    let elements = zipf_elements(ARRIVALS);
+    let shard_counts = [1usize, 2, 4, 8];
+
+    // Warm-up.
+    black_box(baseline_pass(&elements));
+    black_box(engine_pass(&elements, 4));
+
+    let mut best_baseline = f64::INFINITY;
+    let mut best_engine = [f64::INFINITY; 4];
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        black_box(baseline_pass(&elements));
+        best_baseline = best_baseline.min(start.elapsed().as_secs_f64());
+        for (slot, &shards) in shard_counts.iter().enumerate() {
+            let start = Instant::now();
+            black_box(engine_pass(&elements, shards));
+            best_engine[slot] = best_engine[slot].min(start.elapsed().as_secs_f64());
+        }
+    }
+
+    println!(
+        "\nsingle_thread_update_stream: {:6.2} Melem/s",
+        ARRIVALS as f64 / best_baseline / 1e6
+    );
+    let mut at_four_shards = 0.0;
+    for (slot, &shards) in shard_counts.iter().enumerate() {
+        let speedup = best_baseline / best_engine[slot];
+        if shards == 4 {
+            at_four_shards = speedup;
+        }
+        println!(
+            "engine/{shards} shards:            {:6.2} Melem/s  ({speedup:.2}x vs update_stream)",
+            ARRIVALS as f64 / best_engine[slot] / 1e6
+        );
+    }
+    assert!(
+        at_four_shards >= 2.0,
+        "acceptance: engine at 4 shards must ingest >= 2x the single-threaded \
+         update_stream loop, measured {at_four_shards:.2}x"
+    );
+    println!("acceptance: engine/4 >= 2x single-threaded ingest — ok\n");
+}
+
+criterion_group!(benches, bench_ingest, speedup_summary);
+criterion_main!(benches);

@@ -4,8 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use opthash_ml::{
-    CartConfig, DecisionTree, ForestConfig, LogRegConfig, LogisticRegression, RandomForest,
-    Dataset,
+    CartConfig, Dataset, DecisionTree, ForestConfig, LogRegConfig, LogisticRegression, RandomForest,
 };
 
 /// A synthetic bucket-routing dataset: `classes` clusters in 2-D.
@@ -19,7 +18,10 @@ fn dataset(examples: usize, classes: usize) -> Dataset {
         state ^= state << 17;
         let class = i % classes;
         let jitter = (state % 100) as f64 / 100.0;
-        rows.push(vec![class as f64 * 3.0 + jitter, (class % 3) as f64 * 2.0 - jitter]);
+        rows.push(vec![
+            class as f64 * 3.0 + jitter,
+            (class % 3) as f64 * 2.0 - jitter,
+        ]);
         labels.push(class);
     }
     Dataset::from_rows(rows, labels)

@@ -9,7 +9,9 @@ use opthash_sketch::{BloomFilter, CountMinSketch, CountSketch, LearnedCountMin, 
 use opthash_stream::ElementId;
 
 fn ids(n: usize) -> Vec<ElementId> {
-    (0..n as u64).map(|i| ElementId(i * 2_654_435_761 % 100_000)).collect()
+    (0..n as u64)
+        .map(|i| ElementId(i * 2_654_435_761 % 100_000))
+        .collect()
 }
 
 fn bench_count_min(c: &mut Criterion) {

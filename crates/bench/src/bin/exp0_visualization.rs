@@ -46,7 +46,11 @@ fn main() {
         let stream_element = dataset.stream_element(element.id).unwrap();
         let seen = estimator.is_stored(element.id);
         let freq = prefix.frequency_of(element.id);
-        let log_freq = if freq > 0 { (freq as f64).ln() } else { f64::NAN };
+        let log_freq = if freq > 0 {
+            (freq as f64).ln()
+        } else {
+            f64::NAN
+        };
         let bucket = estimator.bucket_of(&stream_element);
         table.push_row(vec![
             element.id.raw().to_string(),

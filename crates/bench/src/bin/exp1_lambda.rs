@@ -53,7 +53,10 @@ fn main() {
                 // solvers are compared on the same objective, as in Figure 2.
                 est.push(run.prefix_estimation_error);
                 sim.push(run.prefix_similarity_error);
-                overall.push(lambda * run.prefix_estimation_error + (1.0 - lambda) * run.prefix_similarity_error);
+                overall.push(
+                    lambda * run.prefix_estimation_error
+                        + (1.0 - lambda) * run.prefix_similarity_error,
+                );
                 time.push(run.elapsed_seconds);
             }
             let (est_mean, _) = mean_std(&est);

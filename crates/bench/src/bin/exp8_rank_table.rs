@@ -15,7 +15,10 @@ fn main() {
     // the biggest size of the scale's sweep.
     let size_kb = *scale.sizes_kb().last().unwrap();
     let budget = SpaceBudget::from_kb(size_kb);
-    println!("scale: {scale:?}; opt-hash size {size_kb} KB over {} days", harness.days());
+    println!(
+        "scale: {scale:?}; opt-hash size {size_kb} KB over {} days",
+        harness.days()
+    );
 
     let ranks = [1usize, 10, 100, 1_000, 10_000];
     let rows = harness.rank_table(budget, 0.3, &ranks);

@@ -161,7 +161,9 @@ impl QueryLogHarness {
     pub fn count_min_variants(&self, budget: SpaceBudget) -> Vec<CountMinSketch> {
         [1usize, 2, 4, 6]
             .iter()
-            .map(|&d| CountMinSketch::with_total_buckets(budget.total_buckets(), d, self.seed + d as u64))
+            .map(|&d| {
+                CountMinSketch::with_total_buckets(budget.total_buckets(), d, self.seed + d as u64)
+            })
             .collect()
     }
 
@@ -186,7 +188,9 @@ impl QueryLogHarness {
             }
         }
         if variants.is_empty() {
-            variants.push(LearnedCountMin::with_budget(budget, 1, &heavy_ids, 1, self.seed));
+            variants.push(LearnedCountMin::with_budget(
+                budget, 1, &heavy_ids, 1, self.seed,
+            ));
         }
         variants
     }
@@ -218,7 +222,10 @@ impl QueryLogHarness {
         let mut truth = self.log.day_counts(0);
         let mut results = Vec::new();
         if eval_days.contains(&0) {
-            results.push((0, self.evaluate(&truth, &opt_hash, &count_mins, &learned_cmss)));
+            results.push((
+                0,
+                self.evaluate(&truth, &opt_hash, &count_mins, &learned_cmss),
+            ));
         }
 
         let last_day = *eval_days.iter().max().unwrap_or(&0);
@@ -235,7 +242,10 @@ impl QueryLogHarness {
             }
             truth.merge(&stream.frequencies());
             if eval_days.contains(&day) {
-                results.push((day, self.evaluate(&truth, &opt_hash, &count_mins, &learned_cmss)));
+                results.push((
+                    day,
+                    self.evaluate(&truth, &opt_hash, &count_mins, &learned_cmss),
+                ));
             }
         }
         results

@@ -74,11 +74,7 @@ impl ExperimentTable {
 }
 
 /// Writes rows as CSV under `target/experiments/<name>.csv`.
-pub fn write_csv(
-    name: &str,
-    columns: &[String],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, columns: &[String], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target").join("experiments");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));

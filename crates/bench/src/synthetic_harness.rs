@@ -110,11 +110,9 @@ impl SyntheticWorkload {
             self.buckets,
             0.5, // λ < 1 forces both terms to be evaluated; weighting is done below
         );
-        let pairs = opthash_stream::metrics::ordered_cobucket_pairs(
-            &solution.assignment,
-            self.buckets,
-        )
-        .max(1);
+        let pairs =
+            opthash_stream::metrics::ordered_cobucket_pairs(&solution.assignment, self.buckets)
+                .max(1);
 
         // Stream the continuation; collect which unseen elements appeared.
         for arrival in continuation.iter() {
@@ -187,12 +185,7 @@ mod tests {
 
     #[test]
     fn run_produces_finite_metrics() {
-        let workload = SyntheticWorkload::new(
-            4,
-            0.5,
-            SolverKind::Bcd(BcdConfig::default()),
-            1,
-        );
+        let workload = SyntheticWorkload::new(4, 0.5, SolverKind::Bcd(BcdConfig::default()), 1);
         let run = workload.run();
         assert!(run.prefix_estimation_error.is_finite());
         assert!(run.prefix_similarity_error >= 0.0);

@@ -18,9 +18,7 @@ use crate::config::OptHashConfig;
 use crate::estimator::OptHash;
 use crate::stats::EstimatorStats;
 use opthash_sketch::BloomFilter;
-use opthash_stream::{
-    ElementId, FrequencyEstimator, SpaceReport, StreamElement, StreamPrefix,
-};
+use opthash_stream::{ElementId, FrequencyEstimator, SpaceReport, StreamElement, StreamPrefix};
 use serde::{Deserialize, Serialize};
 
 /// `opt-hash` with the Bloom-filter adaptive counting extension.
@@ -120,6 +118,59 @@ impl AdaptiveOptHash {
         self.bucket_unseen_counts[bucket] += count as f64;
     }
 
+    /// Creates an estimator sharing this one's learned structure but with
+    /// zeroed bucket counters and zeroed distinct counts: a *delta*
+    /// accumulator for one shard of a partitioned stream. The fork's Bloom
+    /// filter starts with the parent's bits (so elements seen before the
+    /// fork are still recognized) but contributes only its own insertions
+    /// when unioned back.
+    ///
+    /// Exactness note: merging forks back via
+    /// [`AdaptiveOptHash::merge_counts`] reproduces sequential processing
+    /// when the stream is partitioned *by element ID* (each distinct ID
+    /// confined to one fork — precisely the sharding discipline of the
+    /// ingest engine), up to Bloom false positives: a fork cannot see bits
+    /// set concurrently by its siblings, so an element that would have been
+    /// a false positive sequentially may be counted as new in its shard (or
+    /// vice versa). The probability is bounded by the filter's
+    /// false-positive rate; size the filter accordingly.
+    pub fn fork_empty(&self) -> Self {
+        AdaptiveOptHash {
+            base: self.base.fork_empty(),
+            bucket_distinct: vec![0; self.bucket_distinct.len()],
+            bucket_unseen_counts: vec![0.0; self.bucket_unseen_counts.len()],
+            bloom: self.bloom.clone_delta(),
+        }
+    }
+
+    /// Adds another estimator's deltas into this one: aggregate bucket
+    /// counters, unseen-element counters and distinct counts are summed and
+    /// the Bloom filters are unioned. `O(buckets + bloom bits / 64)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators come from different training runs
+    /// (different bucket counts or Bloom configurations).
+    pub fn merge_counts(&mut self, other: &AdaptiveOptHash) {
+        self.base.merge_counts(&other.base);
+        assert_eq!(
+            self.bucket_distinct.len(),
+            other.bucket_distinct.len(),
+            "can only merge adaptive estimators from the same training run"
+        );
+        for (d, &o) in self.bucket_distinct.iter_mut().zip(&other.bucket_distinct) {
+            *d += o;
+        }
+        for (c, &o) in self
+            .bucket_unseen_counts
+            .iter_mut()
+            .zip(&other.bucket_unseen_counts)
+        {
+            *c += o;
+        }
+        self.bloom.union(&other.bloom);
+    }
+
     /// Itemized memory usage: the base estimator plus the Bloom filter bits
     /// and one extra distinct-element counter per bucket.
     pub fn space_report(&self) -> SpaceReport {
@@ -186,7 +237,10 @@ mod tests {
     fn prefix_elements_are_marked_seen_and_counted() {
         let est = train_adaptive();
         for id in 0u64..6 {
-            assert!(est.seen(ElementId(id)), "prefix element {id} not marked seen");
+            assert!(
+                est.seen(ElementId(id)),
+                "prefix element {id} not marked seen"
+            );
         }
         let total_distinct: usize = (0..est.buckets()).map(|j| est.bucket_distinct(j)).sum();
         assert_eq!(total_distinct, 6);
@@ -269,6 +323,57 @@ mod tests {
         let newcomer = StreamElement::new(640u64, vec![9.9, 10.3]);
         est.add(&newcomer, 0);
         assert!(!est.seen(ElementId(640)));
+    }
+
+    #[test]
+    fn id_partitioned_forks_merge_back_to_sequential_state() {
+        let mut sequential = train_adaptive();
+        let mut merged = sequential.clone();
+        let mut fork_a = merged.fork_empty();
+        let mut fork_b = merged.fork_empty();
+
+        // A continuation containing stored elements (ids 0..6) and unseen
+        // ones (ids 100..110), partitioned by ID parity — each distinct ID
+        // is confined to one fork, the discipline fork_empty documents.
+        let arrivals: Vec<StreamElement> = (0..12u64)
+            .cycle()
+            .take(120)
+            .map(|id| {
+                let id = if id < 6 { id } else { 94 + id };
+                StreamElement::new(id, vec![10.0, 10.0])
+            })
+            .collect();
+        for arrival in &arrivals {
+            sequential.update(arrival);
+            if arrival.id.raw() % 2 == 0 {
+                fork_a.update(arrival);
+            } else {
+                fork_b.update(arrival);
+            }
+        }
+        merged.merge_counts(&fork_a);
+        merged.merge_counts(&fork_b);
+
+        for bucket in 0..merged.buckets() {
+            assert_eq!(
+                merged.bucket_distinct(bucket),
+                sequential.bucket_distinct(bucket),
+                "distinct count diverged in bucket {bucket}"
+            );
+            assert!(
+                (merged.bucket_average(bucket) - sequential.bucket_average(bucket)).abs() < 1e-9,
+                "average diverged in bucket {bucket}"
+            );
+        }
+        for arrival in &arrivals {
+            assert_eq!(merged.seen(arrival.id), sequential.seen(arrival.id));
+            assert!(
+                (merged.estimate(arrival)
+                    - <AdaptiveOptHash as FrequencyEstimator>::estimate(&sequential, arrival))
+                .abs()
+                    < 1e-9
+            );
+        }
     }
 
     #[test]

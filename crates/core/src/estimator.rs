@@ -37,10 +37,7 @@ impl OptHash {
     /// Learns the hashing scheme and the classifier from an observed prefix.
     pub fn train(config: OptHashConfig, prefix: &StreamPrefix) -> Self {
         config.validate();
-        assert!(
-            prefix.distinct_len() > 0,
-            "cannot train on an empty prefix"
-        );
+        assert!(prefix.distinct_len() > 0, "cannot train on an empty prefix");
         let total_start = Instant::now();
 
         // Optionally down-sample the prefix, keeping heavy elements with
@@ -57,11 +54,14 @@ impl OptHash {
         // Build and solve the assignment problem.
         let frequencies = prefix.frequencies_f64();
         let features = prefix.features();
-        let use_features = config.lambda < 1.0
-            && features.iter().any(|f| !f.is_empty());
+        let use_features = config.lambda < 1.0 && features.iter().any(|f| !f.is_empty());
         let problem = HashingProblem::new(
             frequencies,
-            if use_features { features.clone() } else { Vec::new() },
+            if use_features {
+                features.clone()
+            } else {
+                Vec::new()
+            },
             config.buckets,
             config.lambda,
         );
@@ -89,8 +89,7 @@ impl OptHash {
         // Train the classifier on (features, bucket) pairs.
         let classifier_start = Instant::now();
         let labels: Vec<usize> = solution.assignment.clone();
-        let dataset =
-            Dataset::from_features(&features, &labels).with_num_classes(config.buckets);
+        let dataset = Dataset::from_features(&features, &labels).with_num_classes(config.buckets);
         let classifier = config.classifier.fit(&dataset, config.seed);
         let classifier_time = classifier_start.elapsed();
         let classifier_train_accuracy = classifier.accuracy(&dataset);
@@ -199,6 +198,45 @@ impl OptHash {
         }
     }
 
+    /// Creates an estimator sharing this one's learned structure (hash
+    /// table, classifier, bucket element counts) but with every aggregate
+    /// bucket counter `φ_j` zeroed. The fork accumulates only the *delta*
+    /// of the arrivals routed to it, so several forks fed disjoint
+    /// sub-streams can be [`OptHash::merge_counts`]-ed back into the
+    /// original for an exact result. `O(buckets + stored elements)` (the
+    /// table and classifier are cloned, not retrained).
+    pub fn fork_empty(&self) -> Self {
+        OptHash {
+            config: self.config,
+            table: self.table.clone(),
+            bucket_counts: vec![0.0; self.bucket_counts.len()],
+            bucket_elements: self.bucket_elements.clone(),
+            classifier: self.classifier.clone(),
+            solution: self.solution.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Adds another estimator's aggregate bucket counters `φ_j` into this
+    /// one. Counter updates are additive, so merging forks fed disjoint
+    /// sub-streams reproduces exactly the counters of sequential
+    /// processing. `O(buckets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators have different bucket counts or stored
+    /// tables (they must come from the same training run).
+    pub fn merge_counts(&mut self, other: &OptHash) {
+        assert!(
+            self.bucket_counts.len() == other.bucket_counts.len()
+                && self.table.len() == other.table.len(),
+            "can only merge opt-hash estimators from the same training run"
+        );
+        for (c, &o) in self.bucket_counts.iter_mut().zip(&other.bucket_counts) {
+            *c += o;
+        }
+    }
+
     /// Itemized memory usage: one stored ID per prefix element plus one
     /// counter per bucket (the per-bucket element counts are derivable from
     /// the hash table, so they are charged as auxiliary bytes only when the
@@ -255,7 +293,10 @@ mod tests {
 
     #[test]
     fn seen_elements_get_bucket_average_estimates() {
-        let est = OptHashBuilder::new(2).lambda(1.0).solver(SolverKind::Dp).train(&grouped_prefix());
+        let est = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
         // hot elements (freq 30) share a bucket; cold (freq 1) share the other
         let hot = est.estimate(&StreamElement::new(0u64, vec![0.0, 0.1]));
         let cold = est.estimate(&StreamElement::new(3u64, vec![10.3, 10.0]));
@@ -338,7 +379,10 @@ mod tests {
 
     #[test]
     fn space_accounting_counts_ids_and_buckets() {
-        let est = OptHashBuilder::new(4).lambda(1.0).solver(SolverKind::Dp).train(&grouped_prefix());
+        let est = OptHashBuilder::new(4)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
         let report = est.space_report();
         assert_eq!(report.stored_ids, 7);
         assert_eq!(report.counters, 4);
@@ -348,7 +392,10 @@ mod tests {
 
     #[test]
     fn bucket_accessors_are_consistent() {
-        let est = OptHashBuilder::new(3).lambda(1.0).solver(SolverKind::Dp).train(&grouped_prefix());
+        let est = OptHashBuilder::new(3)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
         let mut total_elements = 0;
         for j in 0..est.buckets() {
             total_elements += est.bucket_element_count(j);
@@ -369,7 +416,10 @@ mod tests {
     #[test]
     fn frequency_mass_is_conserved_across_buckets() {
         let prefix = grouped_prefix();
-        let est = OptHashBuilder::new(3).lambda(1.0).solver(SolverKind::Dp).train(&prefix);
+        let est = OptHashBuilder::new(3)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&prefix);
         let bucket_mass: f64 = (0..est.buckets()).map(|j| est.bucket_count(j)).sum();
         let prefix_mass: f64 = prefix.frequencies().iter().map(|&f| f as f64).sum();
         assert!((bucket_mass - prefix_mass).abs() < 1e-9);
@@ -382,7 +432,10 @@ mod tests {
             SolverKind::Bcd(BcdConfig::default()),
             SolverKind::Exact(Default::default()),
         ] {
-            let est = OptHashBuilder::new(2).lambda(0.7).solver(solver).train(&prefix);
+            let est = OptHashBuilder::new(2)
+                .lambda(0.7)
+                .solver(solver)
+                .train(&prefix);
             assert_eq!(est.stats().solver, solver.name());
             let hot = est.estimate(&StreamElement::new(0u64, vec![0.0, 0.1]));
             let cold = est.estimate(&StreamElement::new(5u64, vec![10.5, 10.0]));
@@ -392,7 +445,10 @@ mod tests {
 
     #[test]
     fn stats_capture_objective_and_accuracy() {
-        let est = OptHashBuilder::new(2).lambda(1.0).solver(SolverKind::Dp).train(&grouped_prefix());
+        let est = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
         let stats = est.stats();
         assert_eq!(stats.buckets, 2);
         assert_eq!(stats.stored_elements, 7);
@@ -409,8 +465,55 @@ mod tests {
     }
 
     #[test]
+    fn forked_deltas_merge_back_to_sequential_counters() {
+        let mut sequential = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
+        let mut merged = sequential.clone();
+        let mut fork_a = merged.fork_empty();
+        let mut fork_b = merged.fork_empty();
+
+        // Forks start with zeroed aggregate counters but the same structure.
+        for bucket in 0..fork_a.buckets() {
+            assert_eq!(fork_a.bucket_count(bucket), 0.0);
+            assert_eq!(
+                fork_a.bucket_element_count(bucket),
+                merged.bucket_element_count(bucket)
+            );
+        }
+
+        // Partition a continuation by ID parity across the two forks.
+        let arrivals: Vec<StreamElement> = (0..7u64)
+            .cycle()
+            .take(200)
+            .map(|id| StreamElement::new(id, vec![0.0, 0.0]))
+            .collect();
+        for arrival in &arrivals {
+            sequential.update(arrival);
+            if arrival.id.raw() % 2 == 0 {
+                fork_a.update(arrival);
+            } else {
+                fork_b.update(arrival);
+            }
+        }
+        merged.merge_counts(&fork_a);
+        merged.merge_counts(&fork_b);
+
+        for bucket in 0..merged.buckets() {
+            assert!(
+                (merged.bucket_count(bucket) - sequential.bucket_count(bucket)).abs() < 1e-9,
+                "bucket {bucket} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn add_with_zero_count_is_noop() {
-        let mut est = OptHashBuilder::new(2).lambda(1.0).solver(SolverKind::Dp).train(&grouped_prefix());
+        let mut est = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Dp)
+            .train(&grouped_prefix());
         let before = est.bucket_count(est.bucket_of(&StreamElement::new(0u64, vec![0.0, 0.1])));
         est.add(&StreamElement::new(0u64, vec![0.0, 0.1]), 0);
         let after = est.bucket_count(est.bucket_of(&StreamElement::new(0u64, vec![0.0, 0.1])));

@@ -206,8 +206,7 @@ impl GroupDataset {
                 // Only a fraction g0 of the group is eligible; eligible
                 // elements occupy the front of the range.
                 let size = end - start;
-                let eligible =
-                    ((size as f64) * self.config.fraction_seen).ceil() as usize;
+                let eligible = ((size as f64) * self.config.fraction_seen).ceil() as usize;
                 if eligible == 0 {
                     continue;
                 }
@@ -350,7 +349,11 @@ mod tests {
             ..GroupConfig::with_groups(5)
         };
         let data = GroupDataset::generate(config);
-        let eligible = data.elements().iter().filter(|e| e.eligible_in_prefix).count();
+        let eligible = data
+            .elements()
+            .iter()
+            .filter(|e| e.eligible_in_prefix)
+            .count();
         assert_eq!(eligible, data.universe_size() / 2);
     }
 

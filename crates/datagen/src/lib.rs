@@ -18,6 +18,19 @@
 //!
 //! All generators are deterministic given their seed, so every experiment in
 //! the benchmark harness is reproducible.
+//!
+//! ```
+//! use opthash_datagen::groups::{GroupConfig, GroupDataset};
+//!
+//! let dataset = GroupDataset::generate(GroupConfig::with_groups(4));
+//! // Group sizes grow exponentially: 8 + 16 + 32 + 64 elements.
+//! assert_eq!(dataset.universe_size(), 120);
+//! let stream = dataset.generate_stream(1_000, 7);
+//! assert_eq!(stream.len(), 1_000);
+//! // Deterministic given the seed.
+//! let again = dataset.generate_stream(1_000, 7);
+//! assert_eq!(stream.as_slice()[0].id, again.as_slice()[0].id);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -64,19 +64,80 @@ impl QueryLogConfig {
 
 /// Brand-like words that dominate popular navigational queries.
 const BRANDS: &[&str] = &[
-    "google", "yahoo", "ebay", "mapquest", "myspace", "amazon", "weather", "dictionary", "bank",
-    "craigslist", "hotmail", "msn", "aol", "walmart", "target", "irs", "webmd", "espn", "lyrics",
+    "google",
+    "yahoo",
+    "ebay",
+    "mapquest",
+    "myspace",
+    "amazon",
+    "weather",
+    "dictionary",
+    "bank",
+    "craigslist",
+    "hotmail",
+    "msn",
+    "aol",
+    "walmart",
+    "target",
+    "irs",
+    "webmd",
+    "espn",
+    "lyrics",
     "wikipedia",
 ];
 
 /// Filler vocabulary used to build long-tail phrase queries.
 const TAIL_WORDS: &[&str] = &[
-    "free", "online", "cheap", "best", "reviews", "pictures", "how", "to", "make", "home",
-    "recipes", "casino", "hotel", "flights", "jobs", "school", "county", "city", "music",
-    "movie", "download", "county", "sale", "used", "cars", "insurance", "estate", "rental",
-    "coupons", "games", "kids", "dog", "cat", "symptoms", "treatment", "history", "phone",
-    "number", "address", "store", "hours", "near", "me", "florida", "texas", "california",
-    "new", "york", "sharon", "stone",
+    "free",
+    "online",
+    "cheap",
+    "best",
+    "reviews",
+    "pictures",
+    "how",
+    "to",
+    "make",
+    "home",
+    "recipes",
+    "casino",
+    "hotel",
+    "flights",
+    "jobs",
+    "school",
+    "county",
+    "city",
+    "music",
+    "movie",
+    "download",
+    "county",
+    "sale",
+    "used",
+    "cars",
+    "insurance",
+    "estate",
+    "rental",
+    "coupons",
+    "games",
+    "kids",
+    "dog",
+    "cat",
+    "symptoms",
+    "treatment",
+    "history",
+    "phone",
+    "number",
+    "address",
+    "store",
+    "hours",
+    "near",
+    "me",
+    "florida",
+    "texas",
+    "california",
+    "new",
+    "york",
+    "sharon",
+    "stone",
 ];
 
 /// A fully materialized synthetic query log.
@@ -241,7 +302,11 @@ mod tests {
         // Popular navigational queries are distinct by construction; the long
         // tail carries a unique token. Some mid-rank queries may collide, but
         // the overwhelming majority must be distinct.
-        assert!(texts.len() > 480, "too many duplicate query texts: {}", texts.len());
+        assert!(
+            texts.len() > 480,
+            "too many duplicate query texts: {}",
+            texts.len()
+        );
     }
 
     #[test]
@@ -332,9 +397,7 @@ mod tests {
     fn arrival_probabilities_decrease_with_rank() {
         let data = tiny();
         assert!(data.arrival_probability(ElementId(0)) > data.arrival_probability(ElementId(1)));
-        assert!(
-            data.arrival_probability(ElementId(10)) > data.arrival_probability(ElementId(400))
-        );
+        assert!(data.arrival_probability(ElementId(10)) > data.arrival_probability(ElementId(400)));
     }
 
     #[test]

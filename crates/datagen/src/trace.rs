@@ -154,11 +154,7 @@ impl QueryTrace {
 
     /// Exact per-query counts of one day.
     pub fn day_counts(&self, day: usize) -> FrequencyVector {
-        FrequencyVector::from_counts(
-            self.days[day]
-                .iter()
-                .map(|&id| (id, 1u64)),
-        )
+        FrequencyVector::from_counts(self.days[day].iter().map(|&id| (id, 1u64)))
     }
 
     /// Exact counts aggregated over days `0..=day`.

@@ -62,7 +62,9 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().unwrap();
         let u: f64 = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.len() - 1)
     }
 
     /// Expected number of occurrences of rank `r` in a stream of
@@ -110,7 +112,10 @@ mod tests {
             let expected = z.expected_count(r, n);
             let observed = counts[r] as f64;
             let rel = (observed - expected).abs() / expected;
-            assert!(rel < 0.1, "rank {r}: observed {observed}, expected {expected}");
+            assert!(
+                rel < 0.1,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
         }
         // Rank 0 should be roughly twice as frequent as rank 1 for s = 1.
         let ratio = counts[0] as f64 / counts[1] as f64;

@@ -1,0 +1,246 @@
+//! The [`SketchBackend`] trait: one interface over every frequency
+//! estimator in the workspace, designed around *weighted*, *mergeable*
+//! updates so the sharded ingest engine can drive any of them.
+
+use opthash::{AdaptiveOptHash, OptHash};
+use opthash_sketch::{CountMinSketch, CountSketch, LearnedCountMin, MisraGries};
+use opthash_stream::{FrequencyEstimator, SpaceReport, StreamElement};
+
+/// A frequency estimator that the [`crate::IngestEngine`] can shard.
+///
+/// Compared to [`opthash_stream::FrequencyEstimator`] (one arrival per call,
+/// no merging), a backend must support three extra capabilities:
+///
+/// 1. **weighted updates** ([`SketchBackend::ingest`]) so batches of
+///    identical elements collapse into one call,
+/// 2. **forking** ([`SketchBackend::fork`]): producing a *delta
+///    accumulator* that shares the learned/hashed structure but starts from
+///    zero counts,
+/// 3. **merging** ([`SketchBackend::merge`]): folding a fork's delta back
+///    into a full estimator.
+///
+/// # Exactness contract
+///
+/// All statements below assume the workspace's stream data model
+/// ([`StreamElement`]): an element's feature vector is identical across
+/// its appearances. The batching engine relies on this — it aggregates
+/// duplicate arrivals of an ID within a batch window and applies them
+/// through one representative element (the first seen), so a stream that
+/// presents *different* features (or a mix of featured and featureless
+/// arrivals) for the same ID may be routed differently than sequential
+/// per-arrival processing would route it. Only the feature-consuming
+/// backends ([`OptHash`]/[`AdaptiveOptHash`] classifier routing of
+/// unstored elements) can observe the difference.
+///
+/// For the linear backends ([`CountMinSketch`] with the standard update
+/// policy, [`CountSketch`], [`LearnedCountMin`], [`OptHash`]) fork + ingest +
+/// merge over *any* partition of a stream reproduces the sequentially built
+/// estimator exactly. [`AdaptiveOptHash`] is exact when the partition is
+/// *by element ID* (each distinct ID confined to one fork) — exactly the
+/// discipline the engine's hash partitioner enforces — up to Bloom
+/// false positives, which a shard may resolve differently from a
+/// sequential run because it cannot see bits set concurrently by sibling
+/// shards; the divergence probability is bounded by the filter's
+/// false-positive rate. [`MisraGries`] and the conservative-update
+/// Count-Min are order-dependent: merged results may differ from
+/// sequential ones but keep their deterministic error bounds.
+pub trait SketchBackend: Send {
+    /// Applies `count` occurrences of `element`.
+    ///
+    /// Complexity: `O(depth)` hash-and-increment for the sketches, `O(1)`
+    /// expected for the hash-table based estimators, amortized
+    /// `O(capacity)` worst case for [`MisraGries`] evictions.
+    fn ingest(&mut self, element: &StreamElement, count: u64);
+
+    /// Returns the estimated frequency of `element`.
+    ///
+    /// Complexity: `O(depth)` for the sketches, `O(1)` expected for stored
+    /// elements of the learned estimators plus one classifier evaluation
+    /// (`O(tree depth)` or `O(classes · features)`) for unseen elements.
+    fn query(&self, element: &StreamElement) -> f64;
+
+    /// Creates a shard-local delta accumulator: same configuration, seeds
+    /// and learned structure, zero counts.
+    ///
+    /// Space: a fork costs the same counter memory as its parent (counters
+    /// are replicated per shard), except [`MisraGries`] whose fork starts
+    /// empty. Learned structures (hash table, classifier) are cloned, not
+    /// retrained.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds a fork's accumulated delta into this estimator.
+    ///
+    /// Complexity: `O(state size)` — counters are combined element-wise;
+    /// no per-update work is replayed. Merging is commutative and (for the
+    /// linear backends) associative, so shards can be folded in any order.
+    fn merge(&mut self, shard: &Self)
+    where
+        Self: Sized;
+
+    /// Itemized memory usage under the paper's accounting model
+    /// (see [`opthash_stream::space`]).
+    fn space_report(&self) -> SpaceReport;
+
+    /// Short name for reports, e.g. `count-min`.
+    fn backend_name(&self) -> &'static str;
+}
+
+impl SketchBackend for CountMinSketch {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element.id, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        CountMinSketch::query(self, element.id) as f64
+    }
+
+    fn fork(&self) -> Self {
+        self.clone_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        CountMinSketch::merge(self, shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        CountMinSketch::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "count-min"
+    }
+}
+
+impl SketchBackend for CountSketch {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element.id, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        // Clamp like the FrequencyEstimator impl: a frequency is never
+        // negative.
+        self.query_signed(element.id).max(0.0)
+    }
+
+    fn fork(&self) -> Self {
+        self.clone_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        CountSketch::merge(self, shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        CountSketch::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "count-sketch"
+    }
+}
+
+impl SketchBackend for LearnedCountMin {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element.id, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        LearnedCountMin::query(self, element.id) as f64
+    }
+
+    fn fork(&self) -> Self {
+        self.clone_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        LearnedCountMin::merge(self, shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        LearnedCountMin::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "heavy-hitter"
+    }
+}
+
+impl SketchBackend for MisraGries {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element.id, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        MisraGries::query(self, element.id) as f64
+    }
+
+    fn fork(&self) -> Self {
+        self.clone_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        MisraGries::merge(self, shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        MisraGries::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "misra-gries"
+    }
+}
+
+impl SketchBackend for OptHash {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        FrequencyEstimator::estimate(self, element)
+    }
+
+    fn fork(&self) -> Self {
+        self.fork_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        self.merge_counts(shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        OptHash::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "opt-hash"
+    }
+}
+
+impl SketchBackend for AdaptiveOptHash {
+    fn ingest(&mut self, element: &StreamElement, count: u64) {
+        self.add(element, count);
+    }
+
+    fn query(&self, element: &StreamElement) -> f64 {
+        FrequencyEstimator::estimate(self, element)
+    }
+
+    fn fork(&self) -> Self {
+        self.fork_empty()
+    }
+
+    fn merge(&mut self, shard: &Self) {
+        self.merge_counts(shard);
+    }
+
+    fn space_report(&self) -> SpaceReport {
+        AdaptiveOptHash::space_report(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "opt-hash-adaptive"
+    }
+}

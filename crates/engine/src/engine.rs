@@ -1,0 +1,533 @@
+//! The sharded, batched [`IngestEngine`].
+
+use crate::backend::SketchBackend;
+use opthash_stream::{SpaceReport, Stream, StreamElement};
+
+/// One-multiply mixer (xor-fold, multiply, xor-fold — the cheap half of the
+/// MurmurHash3/SplitMix finalizers): the engine's stateless router hash.
+/// One multiply keeps it off the ingest hot path's critical latency, while
+/// the xor-folds spread entropy into both the low bits (batch slot index)
+/// and the high bits (shard selector) even for dense or strided IDs.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x ^ (x >> 33);
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^ (z >> 29)
+}
+
+/// Configuration of an [`IngestEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shards the key space is hash-partitioned into. Each shard
+    /// owns a fork of the backend and is applied by its own worker thread
+    /// during a flush.
+    pub shards: usize,
+    /// Number of *distinct* elements a shard buffers before a flush is
+    /// triggered. Larger batches aggregate more duplicate arrivals (a big
+    /// win on skewed streams) at the cost of staleness and buffer memory.
+    pub batch_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            batch_capacity: 8_192,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with `shards` shards and the default batch capacity.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Sets the per-shard batch capacity.
+    pub fn batch_capacity(mut self, batch_capacity: usize) -> Self {
+        self.batch_capacity = batch_capacity;
+        self
+    }
+}
+
+/// Counters describing what an [`IngestEngine`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Arrivals accepted (one per [`IngestEngine::ingest`] call).
+    pub ingested_elements: u64,
+    /// Total count mass accepted (≥ `ingested_elements` for weighted
+    /// ingestion).
+    pub ingested_mass: u64,
+    /// Number of flushes performed.
+    pub flushes: u64,
+    /// Weighted updates actually applied to shard backends. The ratio
+    /// `ingested_elements / applied_updates` is the batching win: duplicate
+    /// arrivals of an element within a batch collapse into one update.
+    pub applied_updates: u64,
+}
+
+impl EngineStats {
+    /// Average number of arrivals collapsed into one applied update
+    /// (1.0 = no aggregation; higher is better).
+    pub fn aggregation_factor(&self) -> f64 {
+        if self.applied_updates == 0 {
+            1.0
+        } else {
+            self.ingested_elements as f64 / self.applied_updates as f64
+        }
+    }
+}
+
+/// One shard's pending batch: a small open-addressing table keyed by element
+/// ID that pre-aggregates duplicate arrivals into weighted updates.
+///
+/// Layout is chosen for the ingest hot path: the probe loop touches only a
+/// flat `(id, count)` array (16 bytes per slot, one cache line per arrival
+/// for the hot head of a skewed stream). Feature vectors — needed only by
+/// the learned backends for elements that carry them — live in a lazily
+/// allocated side table that the probe loop never reads. A slot is empty
+/// iff its count is zero (the engine never buffers zero-count updates).
+///
+/// The table is sized for a maximum load factor of 3/4, so an upsert
+/// probes O(1) expected slots.
+#[derive(Debug)]
+struct BatchBuffer {
+    /// `(element id, pending count)`; `count == 0` marks an empty slot.
+    /// Length is always a power of two.
+    entries: Vec<(u64, u64)>,
+    /// Parallel side table holding the first-seen element for IDs whose
+    /// features are non-empty; allocated on first such insert.
+    featured: Vec<Option<StreamElement>>,
+    len: usize,
+    limit: usize,
+}
+
+impl BatchBuffer {
+    fn new(batch_capacity: usize) -> Self {
+        let limit = batch_capacity.max(1);
+        // Size for a maximum load factor of 3/4: expected probe chains stay
+        // short (the table is far emptier than that for most of a window)
+        // while the cache footprint per unit of batch capacity stays small.
+        let slots = (limit * 4 / 3 + 1).next_power_of_two();
+        BatchBuffer {
+            entries: vec![(0, 0); slots],
+            featured: Vec::new(),
+            len: 0,
+            limit,
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `count > 0` arrivals of `element`; returns `true` once the
+    /// buffer has reached its distinct-element limit and should be flushed.
+    /// The element is cloned only when a *featured* element occupies a slot
+    /// for the first time — duplicate arrivals (the common case on skewed
+    /// streams) touch nothing but the 16-byte entry.
+    #[inline]
+    fn upsert(&mut self, hash: u64, element: &StreamElement, count: u64) -> bool {
+        let key = element.id.raw();
+        // Deriving the mask from `entries.len()` (a power of two) lets the
+        // compiler prove the probe index in bounds and elide the checks.
+        let mask = self.entries.len() - 1;
+        let mut idx = hash as usize & mask;
+        loop {
+            let entry = &mut self.entries[idx];
+            if entry.1 != 0 {
+                if entry.0 == key {
+                    entry.1 += count;
+                    return false;
+                }
+                idx = (idx + 1) & mask;
+                continue;
+            }
+            *entry = (key, count);
+            if !element.features.is_empty() {
+                if self.featured.is_empty() {
+                    self.featured = vec![None; self.entries.len()];
+                }
+                self.featured[idx] = Some(element.clone());
+            }
+            self.len += 1;
+            return self.len >= self.limit;
+        }
+    }
+
+    /// Requests the cache line of `hash`'s home slot ahead of its upsert.
+    /// Issued from [`IngestEngine::ingest_batch`]'s lookahead so that cold
+    /// slots are already in cache when the probe reaches them.
+    #[inline]
+    fn prefetch(&self, hash: u64) {
+        let idx = hash as usize & (self.entries.len() - 1);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `idx` is in bounds by the mask, and prefetching any
+        // mapped address has no observable effect beyond the caches.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.entries.as_ptr().add(idx).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
+    /// Applies and clears every pending entry; returns the number of
+    /// weighted updates applied.
+    fn drain_into<B: SketchBackend>(&mut self, backend: &mut B) -> u64 {
+        let mut applied = 0u64;
+        for idx in 0..self.entries.len() {
+            let (key, count) = self.entries[idx];
+            if count == 0 {
+                continue;
+            }
+            self.entries[idx] = (0, 0);
+            match self.featured.get_mut(idx).and_then(Option::take) {
+                Some(element) => backend.ingest(&element, count),
+                None => backend.ingest(&StreamElement::without_features(key), count),
+            }
+            applied += 1;
+        }
+        self.len = 0;
+        applied
+    }
+}
+
+/// A sharded, batched ingestion front-end for any [`SketchBackend`].
+///
+/// Arrivals are hash-partitioned by element ID across `N` shards. Each shard
+/// buffers its arrivals in a pre-aggregating batch (duplicate IDs collapse
+/// into one weighted update — a large win on the skewed streams the paper
+/// studies); full batches are applied to per-shard backend forks by worker
+/// threads spawned with [`std::thread::scope`]. Queries merge the shard
+/// forks back into a single estimator (cached until the next ingest).
+///
+/// Because the partition is *by ID*, every distinct element lives in exactly
+/// one shard, which makes sharding exact for all linear backends **and** for
+/// [`opthash::AdaptiveOptHash`]. Exactness assumes each ID's features are
+/// identical across appearances, as [`StreamElement`] specifies: within a
+/// batch window duplicate arrivals are applied through the ID's first-seen
+/// element (see [`SketchBackend`] for the full contract).
+///
+/// Memory: the engine keeps `shards + 1` copies of the backend's counter
+/// state (the pristine base plus one fork per shard) plus
+/// `2 × batch_capacity` buffered elements per shard, trading memory for
+/// ingest throughput.
+#[derive(Debug)]
+pub struct IngestEngine<B: SketchBackend> {
+    base: B,
+    shards: Vec<B>,
+    buffers: Vec<BatchBuffer>,
+    merged: Option<B>,
+    config: EngineConfig,
+    stats: EngineStats,
+}
+
+impl<B: SketchBackend> IngestEngine<B> {
+    /// Wraps `backend` in an engine with the given configuration.
+    ///
+    /// The backend may already hold state (e.g. a trained
+    /// [`opthash::OptHash`] with prefix counts); that state is preserved in
+    /// the base copy and never double-counted by shard merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn new(backend: B, config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let shards: Vec<B> = (0..config.shards).map(|_| backend.fork()).collect();
+        let buffers = (0..config.shards)
+            .map(|_| BatchBuffer::new(config.batch_capacity))
+            .collect();
+        IngestEngine {
+            base: backend,
+            shards,
+            buffers,
+            merged: None,
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Wraps `backend` with the default configuration (4 shards, 8 Ki
+    /// distinct elements per batch).
+    pub fn with_defaults(backend: B) -> Self {
+        Self::new(backend, EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of distinct elements currently buffered across all shards.
+    pub fn buffered(&self) -> usize {
+        self.buffers.iter().map(|b| b.len).sum()
+    }
+
+    /// Accepts one arrival.
+    #[inline]
+    pub fn ingest(&mut self, element: &StreamElement) {
+        self.ingest_weighted(element, 1);
+    }
+
+    /// Accepts `count` arrivals of `element` at once (`count == 0` is a
+    /// no-op, matching the backends' `add` semantics).
+    #[inline]
+    pub fn ingest_weighted(&mut self, element: &StreamElement, count: u64) {
+        if count == 0 {
+            return;
+        }
+        // No `merged` invalidation here: the arrival lands in a buffer, and
+        // both paths that could expose it (auto-drain below, `flush` before
+        // any query/merge) invalidate the cache themselves.
+        self.stats.ingested_elements += 1;
+        self.stats.ingested_mass += count;
+        let hash = mix64(element.id.raw());
+        // Multiply-shift on the high bits picks the shard; the low bits
+        // index the buffer's slot table, so the two stay decorrelated.
+        let shard = (((hash >> 32) * self.shards.len() as u64) >> 32) as usize;
+        if self.buffers[shard].upsert(hash, element, count) {
+            // Drain only the full shard: its siblings keep aggregating
+            // their half-filled batches (flushing everything here would
+            // waste their remaining deduplication window).
+            self.merged = None;
+            self.stats.flushes += 1;
+            self.stats.applied_updates += self.buffers[shard].drain_into(&mut self.shards[shard]);
+        }
+    }
+
+    /// Accepts a slice of arrivals — the engine's preferred bulk path.
+    ///
+    /// Beyond amortizing per-call bookkeeping (the stats counters are
+    /// maintained in registers across the loop), each arrival's batch slot
+    /// is prefetched a few elements ahead, hiding the cache-miss latency of
+    /// cold (tail) elements behind the work of the hot head.
+    pub fn ingest_batch(&mut self, elements: &[StreamElement]) {
+        /// How many arrivals ahead to prefetch: far enough to cover an
+        /// L2/L3 miss, near enough to stay in the prefetch queues.
+        const LOOKAHEAD: usize = 12;
+        let nshards = self.shards.len() as u64;
+        for (position, element) in elements.iter().enumerate() {
+            if let Some(upcoming) = elements.get(position + LOOKAHEAD) {
+                let hash = mix64(upcoming.id.raw());
+                let shard = (((hash >> 32) * nshards) >> 32) as usize;
+                self.buffers[shard].prefetch(hash);
+            }
+            let hash = mix64(element.id.raw());
+            let shard = (((hash >> 32) * nshards) >> 32) as usize;
+            if self.buffers[shard].upsert(hash, element, 1) {
+                self.merged = None;
+                self.stats.flushes += 1;
+                self.stats.applied_updates +=
+                    self.buffers[shard].drain_into(&mut self.shards[shard]);
+            }
+        }
+        self.stats.ingested_elements += elements.len() as u64;
+        self.stats.ingested_mass += elements.len() as u64;
+    }
+
+    /// Accepts a whole stream in arrival order.
+    pub fn ingest_stream(&mut self, stream: &Stream) {
+        self.ingest_batch(stream.as_slice());
+    }
+
+    /// Applies every buffered batch to its shard's backend fork.
+    ///
+    /// With more than one shard the batches are applied concurrently, one
+    /// scoped worker thread per non-empty shard ([`std::thread::scope`]);
+    /// a single-shard engine applies inline to skip the spawn cost.
+    ///
+    /// Called automatically before a query/merge; during ingestion a shard
+    /// whose batch fills up is drained individually instead (inline, so its
+    /// siblings keep their deduplication windows).
+    pub fn flush(&mut self) {
+        if self.buffers.iter().all(|b| b.is_empty()) {
+            return;
+        }
+        self.merged = None;
+        self.stats.flushes += 1;
+        let applied: u64 = if self.shards.len() == 1 {
+            self.buffers[0].drain_into(&mut self.shards[0])
+        } else {
+            std::thread::scope(|scope| {
+                let mut workers = Vec::with_capacity(self.shards.len());
+                for (shard, buffer) in self.shards.iter_mut().zip(self.buffers.iter_mut()) {
+                    if buffer.is_empty() {
+                        continue;
+                    }
+                    workers.push(scope.spawn(move || buffer.drain_into(shard)));
+                }
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("shard worker panicked"))
+                    .sum()
+            })
+        };
+        self.stats.applied_updates += applied;
+    }
+
+    /// Itemized memory usage of the *logical* estimator (one backend's
+    /// state). The engine physically replicates counter state
+    /// `shards + 1` times; multiply accordingly for resident memory.
+    pub fn space_report(&self) -> SpaceReport {
+        self.base.space_report()
+    }
+
+    /// The wrapped backend's report name.
+    pub fn backend_name(&self) -> &'static str {
+        self.base.backend_name()
+    }
+
+    /// Flushes, merges every shard into the base and returns the final
+    /// estimator, consuming the engine.
+    pub fn finish(mut self) -> B {
+        self.flush();
+        let mut merged = self.base;
+        for shard in &self.shards {
+            merged.merge(shard);
+        }
+        merged
+    }
+}
+
+impl<B: SketchBackend + Clone> IngestEngine<B> {
+    /// Flushes all pending batches and returns the merged estimator view.
+    ///
+    /// The merge costs `O(shards × state size)` but is cached: repeated
+    /// queries without interleaved ingestion reuse the same merged backend.
+    pub fn merged(&mut self) -> &B {
+        self.flush();
+        if self.merged.is_none() {
+            let mut merged = self.base.clone();
+            for shard in &self.shards {
+                merged.merge(shard);
+            }
+            self.merged = Some(merged);
+        }
+        self.merged.as_ref().expect("merged view just built")
+    }
+
+    /// Returns the estimated frequency of `element`, flushing and merging
+    /// first so the answer reflects every accepted arrival.
+    pub fn query(&mut self, element: &StreamElement) -> f64 {
+        self.merged().query(element)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_sketch::CountMinSketch;
+    use opthash_stream::ElementId;
+
+    fn element(id: u64) -> StreamElement {
+        StreamElement::without_features(id)
+    }
+
+    #[test]
+    fn engine_matches_sequential_count_min() {
+        let backend = CountMinSketch::new(128, 4, 7);
+        let mut sequential = backend.clone();
+        let mut engine =
+            IngestEngine::new(backend, EngineConfig::with_shards(4).batch_capacity(64));
+
+        let mut state = 1u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = state % 500;
+            sequential.add(ElementId(id), 1);
+            engine.ingest(&element(id));
+        }
+        for id in 0..600u64 {
+            assert_eq!(
+                engine.query(&element(id)),
+                CountMinSketch::query(&sequential, ElementId(id)) as f64,
+                "mismatch for {id}"
+            );
+        }
+        assert_eq!(engine.stats().ingested_elements, 20_000);
+        assert!(engine.stats().flushes > 0);
+        assert!(
+            engine.stats().aggregation_factor() > 1.0,
+            "500 distinct ids in batches of 64x4 must aggregate"
+        );
+    }
+
+    #[test]
+    fn finish_returns_the_merged_backend() {
+        let mut engine = IngestEngine::new(
+            CountMinSketch::new(64, 3, 1),
+            EngineConfig::with_shards(3).batch_capacity(16),
+        );
+        for id in 0..100u64 {
+            engine.ingest_weighted(&element(id), 5);
+        }
+        let merged = engine.finish();
+        for id in 0..100u64 {
+            assert!(CountMinSketch::query(&merged, ElementId(id)) >= 5);
+        }
+        assert_eq!(merged.total_updates(), 500);
+    }
+
+    #[test]
+    fn weighted_ingest_equals_repeated_ingest() {
+        let config = EngineConfig::with_shards(2).batch_capacity(8);
+        let mut weighted = IngestEngine::new(CountMinSketch::new(64, 3, 2), config);
+        let mut repeated = IngestEngine::new(CountMinSketch::new(64, 3, 2), config);
+        for id in 0..50u64 {
+            weighted.ingest_weighted(&element(id), 3);
+            for _ in 0..3 {
+                repeated.ingest(&element(id));
+            }
+        }
+        for id in 0..60u64 {
+            assert_eq!(weighted.query(&element(id)), repeated.query(&element(id)));
+        }
+    }
+
+    #[test]
+    fn queries_between_ingests_stay_fresh() {
+        let mut engine = IngestEngine::new(
+            CountMinSketch::new(64, 3, 3),
+            EngineConfig::with_shards(2).batch_capacity(1024),
+        );
+        engine.ingest(&element(42));
+        assert_eq!(engine.query(&element(42)), 1.0);
+        engine.ingest(&element(42));
+        assert_eq!(engine.query(&element(42)), 2.0);
+        assert_eq!(engine.stats().flushes, 2, "each query forces a flush");
+    }
+
+    #[test]
+    fn buffered_counts_pending_distinct_elements() {
+        let mut engine = IngestEngine::new(
+            CountMinSketch::new(64, 3, 3),
+            EngineConfig::with_shards(2).batch_capacity(1024),
+        );
+        for id in 0..10u64 {
+            engine.ingest(&element(id));
+            engine.ingest(&element(id));
+        }
+        assert_eq!(engine.buffered(), 10);
+        engine.flush();
+        assert_eq!(engine.buffered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = IngestEngine::new(CountMinSketch::new(8, 1, 1), EngineConfig::with_shards(0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # opthash-engine
+//!
+//! A sharded, batched ingestion engine that lets every frequency estimator
+//! in the workspace — the randomized baselines of `opthash-sketch` *and* the
+//! learned `opt-hash` estimators of the core crate — absorb heavy update
+//! traffic through one interface:
+//!
+//! * [`SketchBackend`] — weighted update / point query / fork / merge /
+//!   space accounting, implemented by [`opthash_sketch::CountMinSketch`],
+//!   [`opthash_sketch::CountSketch`], [`opthash_sketch::LearnedCountMin`],
+//!   [`opthash_sketch::MisraGries`], [`opthash::OptHash`] and
+//!   [`opthash::AdaptiveOptHash`];
+//! * [`IngestEngine`] — hash-partitions arrivals by element ID across `N`
+//!   shards, pre-aggregates each shard's batch (duplicates collapse into one
+//!   weighted update — on the Zipfian streams the paper studies most
+//!   arrivals are duplicates), applies full batches on scoped worker
+//!   threads, and merges shard forks on query.
+//!
+//! Sharding by ID makes the engine *exact* for the linear backends and for
+//! the adaptive estimator: queries of a sharded engine equal those of the
+//! same backend fed sequentially (see the [`SketchBackend`] docs for the
+//! precise contract).
+//!
+//! ```
+//! use opthash_engine::{EngineConfig, IngestEngine};
+//! use opthash_sketch::CountMinSketch;
+//! use opthash_stream::StreamElement;
+//!
+//! let sketch = CountMinSketch::new(1024, 4, 7);
+//! let mut engine = IngestEngine::new(sketch, EngineConfig::with_shards(4));
+//! for id in 0..10_000u64 {
+//!     engine.ingest(&StreamElement::without_features(id % 100));
+//! }
+//! let hot = engine.query(&StreamElement::without_features(5u64));
+//! assert_eq!(hot, 100.0);
+//! // The engine aggregated the 100 duplicate arrivals of each ID.
+//! assert!(engine.stats().aggregation_factor() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod engine;
+
+pub use backend::SketchBackend;
+pub use engine::{EngineConfig, EngineStats, IngestEngine};

@@ -375,10 +375,7 @@ mod tests {
 
     #[test]
     fn identical_rows_with_conflicting_labels_fall_back_to_majority() {
-        let data = Dataset::from_rows(
-            vec![vec![1.0, 1.0]; 5],
-            vec![0, 1, 1, 1, 0],
-        );
+        let data = Dataset::from_rows(vec![vec![1.0, 1.0]; 5], vec![0, 1, 1, 1, 0]);
         let tree = DecisionTree::fit(&data, &CartConfig::default());
         assert_eq!(tree.predict(&[1.0, 1.0]), 1);
         assert_eq!(tree.node_count(), 1);

@@ -55,7 +55,11 @@ impl Dataset {
     /// Builds a dataset from [`Features`] values (the representation used by
     /// the stream crate) and labels.
     pub fn from_features(features: &[Features], labels: &[usize]) -> Self {
-        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features and labels must align"
+        );
         let dim = features.iter().map(Features::dim).max().unwrap_or(0);
         let rows = features
             .iter()

@@ -59,9 +59,9 @@ impl RandomForest {
                 num_classes,
             };
         }
-        let max_features = config.max_features.unwrap_or_else(|| {
-            (data.num_features() as f64).sqrt().ceil().max(1.0) as usize
-        });
+        let max_features = config
+            .max_features
+            .unwrap_or_else(|| (data.num_features() as f64).sqrt().ceil().max(1.0) as usize);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = data.len();
         let trees = (0..config.num_trees)
@@ -161,7 +161,11 @@ mod tests {
         let data = noisy_clusters(2);
         let (train, test) = data.train_test_split(0.3, 7);
         let forest = RandomForest::fit(&train, &ForestConfig::default());
-        assert!(forest.accuracy(&test) > 0.9, "accuracy {}", forest.accuracy(&test));
+        assert!(
+            forest.accuracy(&test) > 0.9,
+            "accuracy {}",
+            forest.accuracy(&test)
+        );
     }
 
     #[test]
@@ -176,8 +180,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = noisy_clusters(4);
-        let a = RandomForest::fit(&data, &ForestConfig { seed: 9, ..ForestConfig::default() });
-        let b = RandomForest::fit(&data, &ForestConfig { seed: 9, ..ForestConfig::default() });
+        let a = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        );
+        let b = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                seed: 9,
+                ..ForestConfig::default()
+            },
+        );
         for row in data.rows().iter().take(20) {
             assert_eq!(a.predict(row), b.predict(row));
         }

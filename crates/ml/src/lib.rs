@@ -22,6 +22,19 @@
 //!   hyper-parameters, mirroring the 10-fold tuning of the paper,
 //! * [`features`] — the bag-of-words + character-count text featurizer used
 //!   for search-query experiments (Section 7.3).
+//!
+//! ```
+//! use opthash_ml::{Classifier, ClassifierKind, Dataset};
+//!
+//! // Two linearly separable classes in one dimension.
+//! let rows = vec![vec![0.1], vec![0.2], vec![0.9], vec![1.0]];
+//! let labels = vec![0, 0, 1, 1];
+//! let data = Dataset::from_rows(rows, labels);
+//! let model = ClassifierKind::Cart.fit(&data, 1);
+//! assert_eq!(model.predict(&[0.15]), 0);
+//! assert_eq!(model.predict(&[0.95]), 1);
+//! assert!(model.accuracy(&data) > 0.99);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -43,7 +43,10 @@ impl ConfusionMatrix {
     /// Records one `(true, predicted)` observation.
     pub fn record(&mut self, true_class: usize, predicted_class: usize) {
         assert!(true_class < self.num_classes, "true class out of range");
-        assert!(predicted_class < self.num_classes, "predicted class out of range");
+        assert!(
+            predicted_class < self.num_classes,
+            "predicted class out of range"
+        );
         self.counts[true_class][predicted_class] += 1;
     }
 
@@ -60,7 +63,10 @@ impl ConfusionMatrix {
 
     /// Total number of recorded examples.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Overall accuracy (diagonal mass over total); 0 for an empty matrix.

@@ -44,7 +44,11 @@ where
         return (0.0, 0.0, 0);
     }
     let mean = accuracies.iter().sum::<f64>() / n as f64;
-    let var = accuracies.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+    let var = accuracies
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / n as f64;
     (mean, var.sqrt(), n)
 }
 
@@ -66,8 +70,9 @@ pub fn tune(
                     l2,
                     ..LogRegConfig::default()
                 };
-                let (mean, std, folds) =
-                    cross_validate(data, k, seed, |train| LogisticRegression::fit(train, &config));
+                let (mean, std, folds) = cross_validate(data, k, seed, |train| {
+                    LogisticRegression::fit(train, &config)
+                });
                 results.push((
                     CvResult {
                         description: format!("logreg(l2={l2})"),

@@ -44,7 +44,9 @@ impl BloomFilter {
         );
         let n = expected_items.max(1) as f64;
         let ln2 = std::f64::consts::LN_2;
-        let m = (-(n * false_positive_rate.ln()) / (ln2 * ln2)).ceil().max(8.0) as usize;
+        let m = (-(n * false_positive_rate.ln()) / (ln2 * ln2))
+            .ceil()
+            .max(8.0) as usize;
         let k = ((m as f64 / n) * ln2).round().max(1.0) as usize;
         Self::new(m, k, seed)
     }
@@ -99,6 +101,50 @@ impl BloomFilter {
         let was_present = self.contains(id);
         self.insert(id);
         !was_present
+    }
+
+    /// Creates a filter with the same size and hash functions but no bits
+    /// set — the shard-local state used by the sharded ingest engine.
+    /// `O(num_bits / 64)`.
+    pub fn clone_empty(&self) -> Self {
+        BloomFilter {
+            bits: vec![0u64; self.bits.len()],
+            num_bits: self.num_bits,
+            hashes: self.hashes.clone(),
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter with the same bits set but an `inserted` counter of
+    /// zero: a shard-local *delta* filter that already knows everything its
+    /// parent has seen, whose later [`BloomFilter::union`] back into the
+    /// parent adds only its own insert count. `O(num_bits / 64)`.
+    pub fn clone_delta(&self) -> Self {
+        BloomFilter {
+            bits: self.bits.clone(),
+            num_bits: self.num_bits,
+            hashes: self.hashes.clone(),
+            inserted: 0,
+        }
+    }
+
+    /// Unions another filter of the *same configuration* into this one by
+    /// bitwise OR. The union of two Bloom filters over the same hash
+    /// functions represents exactly the union of their inserted sets (still
+    /// no false negatives). `O(num_bits / 64)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different sizes or hash functions.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert!(
+            self.num_bits == other.num_bits && self.hashes == other.hashes,
+            "can only union Bloom filters of identical configuration"
+        );
+        for (w, &o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+        self.inserted += other.inserted;
     }
 
     /// Expected false-positive rate given the number of *distinct* items
@@ -215,5 +261,40 @@ mod tests {
     #[should_panic(expected = "false-positive rate")]
     fn bad_fp_rate_panics() {
         let _ = BloomFilter::with_capacity(10, 1.5, 1);
+    }
+
+    #[test]
+    fn union_equals_inserting_both_sets() {
+        let mut sequential = BloomFilter::new(1 << 10, 3, 4);
+        let base = sequential.clone_empty();
+        let mut left = base.clone_empty();
+        let mut right = base.clone_empty();
+        for id in 0..200u64 {
+            sequential.insert(ElementId(id));
+            if id % 2 == 0 {
+                left.insert(ElementId(id));
+            } else {
+                right.insert(ElementId(id));
+            }
+        }
+        let mut merged = base.clone_empty();
+        merged.union(&left);
+        merged.union(&right);
+        assert_eq!(merged.inserted(), sequential.inserted());
+        for id in 0..500u64 {
+            assert_eq!(
+                merged.contains(ElementId(id)),
+                sequential.contains(ElementId(id)),
+                "membership mismatch for {id}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn union_of_mismatched_filters_panics() {
+        let mut a = BloomFilter::new(128, 2, 1);
+        let b = BloomFilter::new(256, 2, 1);
+        a.union(&b);
     }
 }

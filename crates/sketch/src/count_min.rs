@@ -135,6 +135,49 @@ impl CountMinSketch {
             .unwrap_or(0)
     }
 
+    /// Creates a sketch with the same dimensions, hash functions and update
+    /// policy but every counter zeroed — the shard-local state used by the
+    /// sharded ingest engine. `O(width · depth)`.
+    pub fn clone_empty(&self) -> Self {
+        CountMinSketch {
+            width: self.width,
+            depth: self.depth,
+            policy: self.policy,
+            hashes: self.hashes.clone(),
+            counters: vec![0; self.width * self.depth],
+            total_updates: 0,
+        }
+    }
+
+    /// Merges another sketch of the *same configuration* (dimensions, seed
+    /// and policy) into this one by element-wise counter addition.
+    /// `O(width · depth)`.
+    ///
+    /// For [`UpdatePolicy::Standard`] the sketch is a linear transform of the
+    /// frequency vector, so merging sketches built over disjoint sub-streams
+    /// yields exactly the sketch of the concatenated stream. For
+    /// [`UpdatePolicy::Conservative`] addition still never under-estimates,
+    /// but the merged sketch may over-estimate more than a sequentially
+    /// built one (conservative updates do not commute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches have different dimensions or hash
+    /// functions.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert!(
+            self.width == other.width
+                && self.depth == other.depth
+                && self.policy == other.policy
+                && self.hashes == other.hashes,
+            "can only merge Count-Min sketches of identical configuration"
+        );
+        for (c, &o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        self.total_updates += other.total_updates;
+    }
+
     /// The `(ε, δ)` guarantee of this configuration: the additive error is at
     /// most `ε·‖f‖₁` with probability `1 − δ`, where `ε = e/width` and
     /// `δ = e^{-depth}` (Section 2.1).
@@ -317,5 +360,72 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_panics() {
         let _ = CountMinSketch::new(0, 2, 1);
+    }
+
+    #[test]
+    fn merged_standard_sketches_equal_sequential_processing() {
+        let stream = zipf_stream(300, 10_000, 21);
+        let mut sequential = CountMinSketch::new(64, 4, 5);
+        sequential.update_stream(&stream);
+
+        // Partition the stream by ID parity and process each half in a fork.
+        let mut merged = CountMinSketch::new(64, 4, 5);
+        let mut even = merged.clone_empty();
+        let mut odd = merged.clone_empty();
+        for arrival in stream.iter() {
+            if arrival.id.raw() % 2 == 0 {
+                even.add(arrival.id, 1);
+            } else {
+                odd.add(arrival.id, 1);
+            }
+        }
+        merged.merge(&even);
+        merged.merge(&odd);
+
+        assert_eq!(merged.total_updates(), sequential.total_updates());
+        for id in 0..400u64 {
+            assert_eq!(merged.query(ElementId(id)), sequential.query(ElementId(id)));
+        }
+    }
+
+    #[test]
+    fn clone_empty_preserves_configuration_and_zeroes_state() {
+        let mut original = CountMinSketch::with_policy(32, 3, 7, UpdatePolicy::Conservative);
+        original.add(ElementId(1), 5);
+        let empty = original.clone_empty();
+        assert_eq!(empty.width(), 32);
+        assert_eq!(empty.depth(), 3);
+        assert_eq!(empty.total_updates(), 0);
+        assert_eq!(empty.query(ElementId(1)), 0);
+    }
+
+    #[test]
+    fn conservative_merge_never_underestimates() {
+        let stream = zipf_stream(200, 5_000, 9);
+        let truth = FrequencyVector::from_stream(&stream);
+        let base = CountMinSketch::with_policy(48, 3, 2, UpdatePolicy::Conservative);
+        let mut merged = base.clone();
+        let mut low = base.clone_empty();
+        let mut high = base.clone_empty();
+        for arrival in stream.iter() {
+            if arrival.id.raw() < 100 {
+                low.add(arrival.id, 1);
+            } else {
+                high.add(arrival.id, 1);
+            }
+        }
+        merged.merge(&low);
+        merged.merge(&high);
+        for (id, f) in truth.iter() {
+            assert!(merged.query(id) >= f, "under-estimate for {id}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merging_mismatched_sketches_panics() {
+        let mut a = CountMinSketch::new(32, 3, 1);
+        let b = CountMinSketch::new(64, 3, 1);
+        a.merge(&b);
     }
 }

@@ -33,7 +33,9 @@ impl CountSketch {
         assert!(width > 0, "width must be positive");
         assert!(depth > 0, "depth must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let bucket_hashes = (0..depth).map(|_| PairwiseHash::draw(width, &mut rng)).collect();
+        let bucket_hashes = (0..depth)
+            .map(|_| PairwiseHash::draw(width, &mut rng))
+            .collect();
         let sign_hashes = (0..depth).map(|_| SignHash::draw(&mut rng)).collect();
         CountSketch {
             width,
@@ -100,6 +102,43 @@ impl CountSketch {
         } else {
             0.5 * (estimates[d / 2 - 1] + estimates[d / 2])
         }
+    }
+
+    /// Creates a sketch with the same dimensions and hash/sign functions but
+    /// every counter zeroed — the shard-local state used by the sharded
+    /// ingest engine. `O(width · depth)`.
+    pub fn clone_empty(&self) -> Self {
+        CountSketch {
+            width: self.width,
+            depth: self.depth,
+            bucket_hashes: self.bucket_hashes.clone(),
+            sign_hashes: self.sign_hashes.clone(),
+            counters: vec![0; self.width * self.depth],
+            total_updates: 0,
+        }
+    }
+
+    /// Merges another sketch of the *same configuration* into this one by
+    /// element-wise signed-counter addition. The Count Sketch is a linear
+    /// transform of the frequency vector, so merging sketches built over
+    /// disjoint sub-streams is exact. `O(width · depth)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches have different dimensions or hash
+    /// functions.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert!(
+            self.width == other.width
+                && self.depth == other.depth
+                && self.bucket_hashes == other.bucket_hashes
+                && self.sign_hashes == other.sign_hashes,
+            "can only merge Count Sketches of identical configuration"
+        );
+        for (c, &o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        self.total_updates += other.total_updates;
     }
 
     /// Itemized memory usage.
@@ -196,7 +235,10 @@ mod tests {
             let est = cs.estimate(&StreamElement::without_features(id));
             assert!(est >= 0.0);
         }
-        assert!(saw_negative_signed, "expected at least one negative signed estimate");
+        assert!(
+            saw_negative_signed,
+            "expected at least one negative signed estimate"
+        );
     }
 
     #[test]
@@ -228,5 +270,40 @@ mod tests {
     #[should_panic(expected = "depth must be positive")]
     fn zero_depth_panics() {
         let _ = CountSketch::new(8, 0, 1);
+    }
+
+    #[test]
+    fn merged_sketches_equal_sequential_processing() {
+        let stream = skewed_stream(400, 12_000, 6);
+        let mut sequential = CountSketch::new(256, 5, 3);
+        sequential.update_stream(&stream);
+
+        let mut merged = CountSketch::new(256, 5, 3);
+        let mut shards = [
+            merged.clone_empty(),
+            merged.clone_empty(),
+            merged.clone_empty(),
+        ];
+        for arrival in stream.iter() {
+            shards[(arrival.id.raw() % 3) as usize].add(arrival.id, 1);
+        }
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        for id in 0..500u64 {
+            assert_eq!(
+                merged.query_signed(ElementId(id)),
+                sequential.query_signed(ElementId(id)),
+                "estimate mismatch for {id}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merging_mismatched_sketches_panics() {
+        let mut a = CountSketch::new(32, 2, 1);
+        let b = CountSketch::new(32, 2, 2);
+        a.merge(&b);
     }
 }

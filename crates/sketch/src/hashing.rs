@@ -111,7 +111,9 @@ impl HashFamily {
         assert!(depth > 0, "hash family depth must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         HashFamily {
-            functions: (0..depth).map(|_| PairwiseHash::draw(range, &mut rng)).collect(),
+            functions: (0..depth)
+                .map(|_| PairwiseHash::draw(range, &mut rng))
+                .collect(),
         }
     }
 

@@ -42,8 +42,7 @@ impl LearnedCountMin {
         depth: usize,
         seed: u64,
     ) -> Self {
-        let heavy: HashMap<ElementId, u64> =
-            heavy_ids.into_iter().map(|id| (id, 0u64)).collect();
+        let heavy: HashMap<ElementId, u64> = heavy_ids.into_iter().map(|id| (id, 0u64)).collect();
         let backing = CountMinSketch::with_total_buckets(remaining_buckets.max(depth), depth, seed);
         LearnedCountMin {
             reserved_heavy: heavy.len(),
@@ -104,6 +103,41 @@ impl LearnedCountMin {
             Some(&count) => count,
             None => self.backing.query(id),
         }
+    }
+
+    /// Creates an estimator with the same oracle set and backing-sketch
+    /// configuration but all counters zeroed — the shard-local state used by
+    /// the sharded ingest engine. `O(heavy + width · depth)`.
+    pub fn clone_empty(&self) -> Self {
+        LearnedCountMin {
+            heavy: self.heavy.keys().map(|&id| (id, 0u64)).collect(),
+            backing: self.backing.clone_empty(),
+            reserved_heavy: self.reserved_heavy,
+        }
+    }
+
+    /// Merges another estimator with the *same oracle set and configuration*
+    /// into this one: unique-bucket counters are added per ID and the
+    /// backing sketches are merged. Exact over disjoint sub-streams (both
+    /// halves are linear). `O(heavy + width · depth)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators track different heavy-hitter sets or
+    /// have incompatible backing sketches.
+    pub fn merge(&mut self, other: &LearnedCountMin) {
+        assert_eq!(
+            self.reserved_heavy, other.reserved_heavy,
+            "can only merge Learned Count-Min estimators with the same oracle"
+        );
+        for (id, &count) in &other.heavy {
+            let counter = self
+                .heavy
+                .get_mut(id)
+                .expect("can only merge Learned Count-Min estimators with the same oracle");
+            *counter += count;
+        }
+        self.backing.merge(&other.backing);
     }
 
     /// Itemized memory usage: the backing sketch's counters plus one unique
@@ -247,5 +281,35 @@ mod tests {
         lcms.add(ElementId(2), 0);
         assert_eq!(lcms.query(ElementId(1)), 0);
         assert_eq!(lcms.query(ElementId(2)), 0);
+    }
+
+    #[test]
+    fn merged_estimators_equal_sequential_processing() {
+        let stream = zipfish_stream(500, 20_000, 13);
+        let truth = FrequencyVector::from_stream(&stream);
+        let heavy: Vec<ElementId> = truth.ids_by_rank().into_iter().take(20).collect();
+
+        let mut sequential = LearnedCountMin::new(heavy.clone(), 256, 2, 5);
+        sequential.update_stream(&stream);
+
+        let mut merged = LearnedCountMin::new(heavy, 256, 2, 5);
+        let mut shards = [merged.clone_empty(), merged.clone_empty()];
+        for arrival in stream.iter() {
+            shards[(arrival.id.raw() % 2) as usize].add(arrival.id, 1);
+        }
+        merged.merge(&shards[0]);
+        merged.merge(&shards[1]);
+
+        for (id, _) in truth.iter() {
+            assert_eq!(merged.query(id), sequential.query(id), "mismatch for {id}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same oracle")]
+    fn merging_different_oracles_panics() {
+        let mut a = LearnedCountMin::new(vec![ElementId(1)], 16, 2, 1);
+        let b = LearnedCountMin::new(vec![ElementId(2)], 16, 2, 1);
+        a.merge(&b);
     }
 }

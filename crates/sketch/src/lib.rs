@@ -17,6 +17,22 @@
 //! All sketches implement [`opthash_stream::FrequencyEstimator`] so the
 //! experiment harness can drive them interchangeably and compare them at
 //! equal memory.
+//!
+//! ```
+//! use opthash_sketch::CountMinSketch;
+//! use opthash_stream::ElementId;
+//!
+//! let mut sketch = CountMinSketch::new(1024, 4, 7);
+//! sketch.add(ElementId(42), 3);
+//! sketch.add(ElementId(7), 1);
+//! // Count-Min never under-estimates.
+//! assert!(sketch.query(ElementId(42)) >= 3);
+//! // Merging a fork built over a disjoint sub-stream is exact.
+//! let mut other = sketch.clone_empty();
+//! other.add(ElementId(42), 2);
+//! sketch.merge(&other);
+//! assert!(sketch.query(ElementId(42)) >= 5);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

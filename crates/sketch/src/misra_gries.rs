@@ -91,6 +91,47 @@ impl MisraGries {
         }
     }
 
+    /// Creates an empty summary with the same capacity — the shard-local
+    /// state used by the sharded ingest engine. `O(1)`.
+    pub fn clone_empty(&self) -> Self {
+        MisraGries::new(self.capacity)
+    }
+
+    /// Merges another summary into this one using the classical
+    /// Misra–Gries merge (Agarwal et al., "Mergeable Summaries"): counters
+    /// are added pairwise, then the `(capacity + 1)`-th largest count is
+    /// subtracted from every counter and non-positive counters are dropped.
+    /// `O(capacity · log capacity)`.
+    ///
+    /// The merged summary keeps the deterministic guarantee: each reported
+    /// count under-estimates the true frequency of the concatenated stream
+    /// by at most `‖f‖₁ / (capacity + 1)`. Results may differ from a
+    /// sequentially built summary (the decrement schedule is different),
+    /// but the error bound is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries have different capacities.
+    pub fn merge(&mut self, other: &MisraGries) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "can only merge Misra-Gries summaries of equal capacity"
+        );
+        for (&id, &count) in &other.counters {
+            *self.counters.entry(id).or_insert(0) += count;
+        }
+        self.total_updates += other.total_updates;
+        if self.counters.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let threshold = counts[self.capacity];
+            for counter in self.counters.values_mut() {
+                *counter = counter.saturating_sub(threshold);
+            }
+            self.counters.retain(|_, c| *c > 0);
+        }
+    }
+
     /// Lower-bound estimate of the frequency of `id` (0 if not tracked).
     /// The true frequency exceeds this by at most `‖f‖₁ / (capacity + 1)`.
     pub fn query(&self, id: ElementId) -> u64 {
@@ -104,7 +145,8 @@ impl MisraGries {
 
     /// Candidate heavy hitters sorted by decreasing estimated count.
     pub fn heavy_hitters(&self) -> Vec<(ElementId, u64)> {
-        let mut items: Vec<(ElementId, u64)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut items: Vec<(ElementId, u64)> =
+            self.counters.iter().map(|(&k, &v)| (k, v)).collect();
         items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         items
     }
@@ -161,7 +203,11 @@ mod tests {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            let id = if state % 10 < 6 { state % 5 } else { 5 + state % distinct };
+            let id = if state % 10 < 6 {
+                state % 5
+            } else {
+                5 + state % distinct
+            };
             ids.push(id);
         }
         Stream::from_ids(ids)
@@ -187,7 +233,10 @@ mod tests {
         let bound = mg.error_bound();
         for (id, f) in truth.iter() {
             let deficit = f as f64 - mg.query(id) as f64;
-            assert!(deficit <= bound + 1e-9, "deficit {deficit} exceeds bound {bound}");
+            assert!(
+                deficit <= bound + 1e-9,
+                "deficit {deficit} exceeds bound {bound}"
+            );
         }
     }
 
@@ -201,7 +250,10 @@ mod tests {
         let threshold = mg.error_bound();
         for (id, f) in truth.iter() {
             if f as f64 > threshold {
-                assert!(mg.query(id) > 0, "heavy element {id} (freq {f}) was evicted");
+                assert!(
+                    mg.query(id) > 0,
+                    "heavy element {id} (freq {f}) was evicted"
+                );
             }
         }
     }
@@ -275,5 +327,38 @@ mod tests {
         mg.add(ElementId(1), 0);
         assert_eq!(mg.total_updates(), 0);
         assert_eq!(mg.tracked(), 0);
+    }
+
+    #[test]
+    fn merge_respects_capacity_and_error_bound() {
+        let stream = skewed_stream(800, 40_000, 17);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut merged = MisraGries::new(24);
+        let mut shards = [merged.clone_empty(), merged.clone_empty()];
+        for arrival in stream.iter() {
+            shards[(arrival.id.raw() % 2) as usize].add(arrival.id, 1);
+        }
+        merged.merge(&shards[0]);
+        merged.merge(&shards[1]);
+
+        assert!(merged.tracked() <= 24);
+        assert_eq!(merged.total_updates(), 40_000);
+        let bound = merged.error_bound();
+        for (id, f) in truth.iter() {
+            let estimate = merged.query(id);
+            assert!(estimate <= f, "merge must not over-estimate {id}");
+            assert!(
+                f as f64 - estimate as f64 <= bound + 1e-9,
+                "merged deficit for {id} exceeds the bound"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacity")]
+    fn merging_mismatched_capacities_panics() {
+        let mut a = MisraGries::new(4);
+        let b = MisraGries::new(8);
+        a.merge(&b);
     }
 }

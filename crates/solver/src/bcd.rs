@@ -174,11 +174,7 @@ impl BcdSolver {
     }
 
     /// Produces an initial assignment according to the configured strategy.
-    pub fn initial_assignment(
-        &self,
-        problem: &HashingProblem,
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
+    pub fn initial_assignment(&self, problem: &HashingProblem, rng: &mut StdRng) -> Vec<usize> {
         let n = problem.len();
         let b = problem.buckets;
         match self.config.init {
@@ -217,15 +213,17 @@ impl BcdSolver {
                 }
                 assignment
             }
-            InitStrategy::DpWarmStart => kmedian_dp_with(
-                &problem.frequencies,
-                b,
-                // Use the mean-absolute-deviation cost so the warm start is
-                // exactly the solution `solve_frequency_only` would return.
-                ClusterCost::MeanAbs,
-                DpStrategy::DivideAndConquer,
-            )
-            .assignment,
+            InitStrategy::DpWarmStart => {
+                kmedian_dp_with(
+                    &problem.frequencies,
+                    b,
+                    // Use the mean-absolute-deviation cost so the warm start is
+                    // exactly the solution `solve_frequency_only` would return.
+                    ClusterCost::MeanAbs,
+                    DpStrategy::DivideAndConquer,
+                )
+                .assignment
+            }
         }
     }
 

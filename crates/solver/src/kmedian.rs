@@ -41,9 +41,16 @@ pub enum ClusterCost {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum DpStrategy {
     /// Divide-and-conquer over split points, `O(n·b·log n)`.
+    ///
+    /// Sound only when the optimal split points are monotone, which the
+    /// concave-Monge property of the interval cost guarantees for
+    /// [`ClusterCost::MedianAbs`]. The mean-deviation cost can violate that
+    /// property, so for [`ClusterCost::MeanAbs`] the solver silently falls
+    /// back to [`DpStrategy::Quadratic`] to stay exact.
     #[default]
     DivideAndConquer,
-    /// Plain quadratic DP, `O(n²·b)`; kept as a reference implementation.
+    /// Plain quadratic DP, `O(n²·b)`; kept as a reference implementation and
+    /// as the exact path for the mean-deviation cost.
     Quadratic,
 }
 
@@ -134,7 +141,12 @@ impl<'a> RangeCost<'a> {
 /// `values` may be in any order; the returned assignment is reported in the
 /// same order. `k` is clamped to `values.len()`; `k = 0` is rejected.
 pub fn kmedian_dp(values: &[f64], k: usize) -> KMedianResult {
-    kmedian_dp_with(values, k, ClusterCost::MedianAbs, DpStrategy::DivideAndConquer)
+    kmedian_dp_with(
+        values,
+        k,
+        ClusterCost::MedianAbs,
+        DpStrategy::DivideAndConquer,
+    )
 }
 
 /// Solves the 1-D clustering problem exactly with an explicit cost and
@@ -159,6 +171,15 @@ pub fn kmedian_dp_with(
         };
     }
     let k = k.min(n);
+
+    // Divide-and-conquer assumes monotone optimal split points, which holds
+    // for the median-deviation cost (its interval-cost matrix is
+    // concave-Monge) but not in general for deviation about the mean. Fall
+    // back to the exact quadratic DP in that combination.
+    let strategy = match (cost, strategy) {
+        (ClusterCost::MeanAbs, DpStrategy::DivideAndConquer) => DpStrategy::Quadratic,
+        _ => strategy,
+    };
 
     // Sort, remembering the original positions.
     let mut order: Vec<usize> = (0..n).collect();
@@ -236,10 +257,30 @@ pub fn kmedian_dp_with(
                         split_row[mid] = best_m;
                     }
                     if mid > lo {
-                        solve(lo, mid - 1, opt_lo, split_row[mid].max(j), j, dp_prev, dp_cur, split_row, rc);
+                        solve(
+                            lo,
+                            mid - 1,
+                            opt_lo,
+                            split_row[mid].max(j),
+                            j,
+                            dp_prev,
+                            dp_cur,
+                            split_row,
+                            rc,
+                        );
                     }
                     if mid < hi {
-                        solve(mid + 1, hi, split_row[mid].max(j), opt_hi, j, dp_prev, dp_cur, split_row, rc);
+                        solve(
+                            mid + 1,
+                            hi,
+                            split_row[mid].max(j),
+                            opt_hi,
+                            j,
+                            dp_prev,
+                            dp_cur,
+                            split_row,
+                            rc,
+                        );
                     }
                 }
                 let (head, _) = split.split_at_mut(j + 1);
@@ -290,7 +331,9 @@ pub fn kmedian_dp_with(
 ///
 /// The DP minimizes the [`ClusterCost::MeanAbs`] deviation, i.e. exactly the
 /// estimation-error term of Problem (1), over contiguous partitions of the
-/// sorted frequencies.
+/// sorted frequencies (via the exact quadratic DP — see
+/// [`DpStrategy::DivideAndConquer`] for why the subquadratic strategy is
+/// reserved for the median cost).
 pub fn solve_frequency_only(problem: &HashingProblem) -> HashingSolution {
     let start = Instant::now();
     let result = kmedian_dp_with(
@@ -319,12 +362,7 @@ mod tests {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let rc = RangeCost::new(&sorted, cost);
         // enumerate all ways to place k-1 boundaries
-        fn rec(
-            rc: &RangeCost<'_>,
-            start: usize,
-            n: usize,
-            clusters_left: usize,
-        ) -> f64 {
+        fn rec(rc: &RangeCost<'_>, start: usize, n: usize, clusters_left: usize) -> f64 {
             if start == n {
                 return 0.0;
             }
@@ -403,7 +441,10 @@ mod tests {
             (vec![10.0, 10.0, 10.0, 1.0], 2),
             (vec![5.0, 1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0], 4),
             (vec![0.0, 0.0, 0.0, 0.0], 2),
-            (vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0], 5),
+            (
+                vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0],
+                5,
+            ),
         ];
         for (values, k) in cases {
             let expected = brute_contiguous(&values, k, ClusterCost::MedianAbs);

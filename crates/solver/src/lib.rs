@@ -24,6 +24,18 @@
 //!   the instance sizes the paper uses the MILP on,
 //! * [`brute`] — exhaustive enumeration for very small instances, used to
 //!   validate the other solvers in tests.
+//!
+//! ```
+//! use opthash_solver::kmedian::kmedian_dp;
+//!
+//! // Two obvious frequency groups: the DP isolates them exactly.
+//! let frequencies = [100.0, 1.0, 101.0, 2.0];
+//! let result = kmedian_dp(&frequencies, 2);
+//! assert_eq!(result.assignment[0], result.assignment[2]);
+//! assert_eq!(result.assignment[1], result.assignment[3]);
+//! assert_ne!(result.assignment[0], result.assignment[1]);
+//! assert!((result.cost - 2.0).abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

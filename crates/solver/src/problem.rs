@@ -87,7 +87,11 @@ impl HashingProblem {
     pub fn evaluate(&self, assignment: &[usize]) -> AssignmentErrors {
         assignment_errors(
             &self.frequencies,
-            if self.uses_features() { &self.features } else { &[] },
+            if self.uses_features() {
+                &self.features
+            } else {
+                &[]
+            },
             assignment,
             self.buckets,
             self.lambda,

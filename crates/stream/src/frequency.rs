@@ -166,11 +166,8 @@ mod tests {
 
     #[test]
     fn from_counts_drops_zeros_and_sums_duplicates() {
-        let fv = FrequencyVector::from_counts([
-            (ElementId(1), 2),
-            (ElementId(2), 0),
-            (ElementId(1), 3),
-        ]);
+        let fv =
+            FrequencyVector::from_counts([(ElementId(1), 2), (ElementId(2), 0), (ElementId(1), 3)]);
         assert_eq!(fv.frequency(ElementId(1)), 5);
         assert_eq!(fv.support_size(), 1);
         assert_eq!(fv.total(), 5);
@@ -195,7 +192,10 @@ mod tests {
             (ElementId(1), 1),
         ]);
         let ranked = fv.ids_by_rank();
-        assert_eq!(ranked, vec![ElementId(3), ElementId(7), ElementId(10), ElementId(1)]);
+        assert_eq!(
+            ranked,
+            vec![ElementId(3), ElementId(7), ElementId(10), ElementId(1)]
+        );
         assert_eq!(fv.frequency_at_rank(1), Some((ElementId(3), 7)));
         assert_eq!(fv.frequency_at_rank(4), Some((ElementId(1), 1)));
         assert_eq!(fv.frequency_at_rank(5), None);

@@ -20,6 +20,19 @@
 //!
 //! The crate is dependency-light on purpose: it holds plain data types and
 //! pure functions that the solver, ML, sketch and core crates all build upon.
+//!
+//! ```
+//! use opthash_stream::{ElementId, FrequencyVector, Stream};
+//!
+//! let stream = Stream::from_ids([1u64, 1, 2, 1, 3]);
+//! let (prefix, continuation) = stream.split_prefix(3);
+//! assert_eq!(prefix.arrival_len(), 3);
+//! assert_eq!(continuation.len(), 2);
+//!
+//! let truth = FrequencyVector::from_stream(&stream);
+//! assert_eq!(truth.frequency(ElementId(1)), 3);
+//! assert_eq!(truth.support_size(), 3);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

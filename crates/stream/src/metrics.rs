@@ -192,7 +192,10 @@ pub fn assignment_errors(
     let n = frequencies.len();
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); buckets];
     for (i, &j) in assignment.iter().enumerate() {
-        assert!(j < buckets, "assignment[{i}] = {j} out of range ({buckets} buckets)");
+        assert!(
+            j < buckets,
+            "assignment[{i}] = {j} out of range ({buckets} buckets)"
+        );
         members[j].push(i);
     }
 
@@ -202,8 +205,7 @@ pub fn assignment_errors(
         if bucket.is_empty() {
             continue;
         }
-        let mean: f64 =
-            bucket.iter().map(|&i| frequencies[i]).sum::<f64>() / bucket.len() as f64;
+        let mean: f64 = bucket.iter().map(|&i| frequencies[i]).sum::<f64>() / bucket.len() as f64;
         for &i in bucket {
             estimation_error += (frequencies[i] - mean).abs();
         }

@@ -127,7 +127,10 @@ fn main() {
         opt_metrics.observe(f as f64, opt_hash.estimate(&element));
         cms_metrics.observe(f as f64, count_min.estimate(&element));
     }
-    println!("\nper-flow packet-count estimation at {} bytes:", budget.bytes());
+    println!(
+        "\nper-flow packet-count estimation at {} bytes:",
+        budget.bytes()
+    );
     println!(
         "  opt-hash : avg |err| = {:>8.2}, expected |err| = {:>8.2}",
         opt_metrics.average_absolute_error(),

@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use opthash_repro::prelude::*;
 use opthash_repro::opthash::SolverKind;
+use opthash_repro::prelude::*;
 use opthash_solver::BcdConfig;
 
 fn main() {

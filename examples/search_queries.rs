@@ -38,7 +38,12 @@ fn main() {
     //    paper's bucket-to-ID ratio c = 0.3.
     let budget = SpaceBudget::from_kb(4.0);
     let (stored_ids, buckets) = budget.opt_hash_split(0.3);
-    println!("budget: {} bytes -> {} stored query IDs + {} buckets", budget.bytes(), stored_ids, buckets);
+    println!(
+        "budget: {} bytes -> {} stored query IDs + {} buckets",
+        budget.bytes(),
+        stored_ids,
+        buckets
+    );
 
     // 3. Build the day-0 prefix with text features.
     let day0 = log.first_day_counts();
@@ -90,7 +95,9 @@ fn main() {
         let text = log.query_text(id).unwrap();
         let element = StreamElement::new(id, featurizer.transform(text));
         metrics[0].1.observe(f as f64, opt_hash.estimate(&element));
-        metrics[1].1.observe(f as f64, learned_cms.estimate(&element));
+        metrics[1]
+            .1
+            .observe(f as f64, learned_cms.estimate(&element));
         metrics[2].1.observe(f as f64, count_min.estimate(&element));
     }
 

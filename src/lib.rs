@@ -4,9 +4,22 @@
 //! directories can exercise the public API of every workspace crate from a
 //! single place. It re-exports the crates so examples can write
 //! `use opthash_repro::prelude::*;`.
+//!
+//! ```
+//! use opthash_repro::prelude::*;
+//!
+//! // A baseline sketch behind the sharded ingest engine.
+//! let sketch = CountMinSketch::new(256, 4, 1);
+//! let mut engine = IngestEngine::new(sketch, EngineConfig::with_shards(2));
+//! for id in 0..1_000u64 {
+//!     engine.ingest(&StreamElement::without_features(id % 10));
+//! }
+//! assert_eq!(engine.query(&StreamElement::without_features(3u64)), 100.0);
+//! ```
 
 pub use opthash;
 pub use opthash_datagen as datagen;
+pub use opthash_engine as engine;
 pub use opthash_ml as ml;
 pub use opthash_sketch as sketch;
 pub use opthash_solver as solver;
@@ -21,8 +34,11 @@ pub mod prelude {
     };
     pub use opthash_datagen::groups::{GroupConfig, GroupDataset};
     pub use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
+    pub use opthash_engine::{EngineConfig, EngineStats, IngestEngine, SketchBackend};
     pub use opthash_ml::ClassifierKind;
-    pub use opthash_sketch::{BloomFilter, CountMinSketch, CountSketch, LearnedCountMin};
+    pub use opthash_sketch::{
+        BloomFilter, CountMinSketch, CountSketch, LearnedCountMin, MisraGries,
+    };
     pub use opthash_solver::{BcdConfig, ExactConfig, HashingProblem, HashingSolution};
     pub use opthash_stream::{
         ElementId, ErrorMetrics, Features, FrequencyEstimator, FrequencyVector, SpaceBudget,

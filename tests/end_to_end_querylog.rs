@@ -165,7 +165,10 @@ fn bigger_budgets_reduce_error() {
         let truth = log.cumulative_counts(log.config().days - 1);
         let mut metrics = ErrorMetrics::new();
         for (id, f) in truth.iter() {
-            metrics.observe(f as f64, opt_hash.estimate(&element_for(&log, &featurizer, id)));
+            metrics.observe(
+                f as f64,
+                opt_hash.estimate(&element_for(&log, &featurizer, id)),
+            );
         }
         errors.push(metrics.average_absolute_error());
     }
@@ -212,6 +215,10 @@ fn error_grows_over_time_but_ranking_of_methods_is_stable() {
     // shape.
     assert!(opt_by_day.last().unwrap() >= opt_by_day.first().unwrap());
     for (day, (o, c)) in opt_by_day.iter().zip(&cms_by_day).enumerate() {
-        assert!(o < c, "day {}: opt-hash {o:.2} not below count-min {c:.2}", day + 1);
+        assert!(
+            o < c,
+            "day {}: opt-hash {o:.2} not below count-min {c:.2}",
+            day + 1
+        );
     }
 }

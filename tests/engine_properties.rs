@@ -1,0 +1,144 @@
+//! Property-based tests of the ingest engine's merge algebra and sharding
+//! invariants.
+
+use opthash_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy for a stream of (id, weight) updates over a small universe.
+fn weighted_updates(max_distinct: u64, max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(0u64..max_distinct, 1..max_len)
+        .prop_map(|ids| ids.into_iter().map(|id| (id, 1 + id % 5)).collect())
+}
+
+fn apply<B: SketchBackend>(backend: &mut B, updates: &[(u64, u64)]) {
+    for &(id, count) in updates {
+        backend.ingest(&StreamElement::without_features(id), count);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging shard deltas is associative for the linear Count-Min backend:
+    /// ((base ⊕ a) ⊕ b) ⊕ c  ==  base ⊕ (a ⊕ (b ⊕ c)).
+    #[test]
+    fn count_min_merge_is_associative(
+        ups_a in weighted_updates(300, 200),
+        ups_b in weighted_updates(300, 200),
+        ups_c in weighted_updates(300, 200),
+        seed in 0u64..20,
+    ) {
+        let base = CountMinSketch::new(64, 3, seed);
+        let mut shard_a = base.fork();
+        let mut shard_b = base.fork();
+        let mut shard_c = base.fork();
+        apply(&mut shard_a, &ups_a);
+        apply(&mut shard_b, &ups_b);
+        apply(&mut shard_c, &ups_c);
+
+        // Left-associated fold into the base.
+        let mut left = base.clone();
+        left.merge(&shard_a);
+        left.merge(&shard_b);
+        left.merge(&shard_c);
+
+        // Right-associated fold: combine the shards first.
+        let mut bc = shard_b.clone();
+        bc.merge(&shard_c);
+        let mut a_bc = shard_a.clone();
+        a_bc.merge(&bc);
+        let mut right = base.clone();
+        right.merge(&a_bc);
+
+        for id in 0..320u64 {
+            prop_assert_eq!(
+                left.query(ElementId(id)),
+                right.query(ElementId(id)),
+                "associativity broke at id {}", id
+            );
+        }
+    }
+
+    /// Merge order never matters either (commutativity of the shard fold).
+    #[test]
+    fn count_sketch_merge_is_commutative(
+        ups_a in weighted_updates(200, 150),
+        ups_b in weighted_updates(200, 150),
+        seed in 0u64..20,
+    ) {
+        let base = CountSketch::new(128, 3, seed);
+        let mut shard_a = base.fork();
+        let mut shard_b = base.fork();
+        apply(&mut shard_a, &ups_a);
+        apply(&mut shard_b, &ups_b);
+
+        let mut ab = base.clone();
+        ab.merge(&shard_a);
+        ab.merge(&shard_b);
+        let mut ba = base.clone();
+        ba.merge(&shard_b);
+        ba.merge(&shard_a);
+
+        for id in 0..220u64 {
+            let probe = StreamElement::without_features(id);
+            prop_assert_eq!(SketchBackend::query(&ab, &probe), SketchBackend::query(&ba, &probe));
+        }
+    }
+
+    /// The engine gives identical answers regardless of shard count and
+    /// batch capacity, for arbitrary (not just Zipfian) update sequences.
+    #[test]
+    fn engine_is_invariant_to_shard_count_and_batching(
+        ups in weighted_updates(400, 300),
+        shards in 1usize..6,
+        batch in 1usize..64,
+    ) {
+        let backend = CountMinSketch::new(128, 4, 11);
+        let mut sequential = backend.clone();
+        apply(&mut sequential, &ups);
+
+        let mut engine = IngestEngine::new(
+            backend,
+            EngineConfig { shards, batch_capacity: batch },
+        );
+        for &(id, count) in &ups {
+            engine.ingest_weighted(&StreamElement::without_features(id), count);
+        }
+        let merged = engine.finish();
+        for id in 0..420u64 {
+            prop_assert_eq!(merged.query(ElementId(id)), sequential.query(ElementId(id)));
+        }
+    }
+
+    /// Misra-Gries is order-dependent, so sharded results may differ from
+    /// sequential ones — but the merged summary must keep the deterministic
+    /// deficit bound on the true frequencies.
+    #[test]
+    fn sharded_misra_gries_keeps_its_error_bound(
+        ups in weighted_updates(200, 400),
+        shards in 1usize..5,
+    ) {
+        let mut truth = FrequencyVector::new();
+        for &(id, count) in &ups {
+            truth.add(ElementId(id), count);
+        }
+        let mut engine = IngestEngine::new(
+            MisraGries::new(16),
+            EngineConfig { shards, batch_capacity: 32 },
+        );
+        for &(id, count) in &ups {
+            engine.ingest_weighted(&StreamElement::without_features(id), count);
+        }
+        let merged = engine.finish();
+        prop_assert!(merged.tracked() <= 16);
+        let bound = merged.error_bound();
+        for (id, f) in truth.iter() {
+            let estimate = merged.query(id);
+            prop_assert!(estimate <= f, "Misra-Gries over-estimated {}", id);
+            prop_assert!(
+                f as f64 - estimate as f64 <= bound + 1e-9,
+                "deficit for {} exceeds the merged bound {}", id, bound
+            );
+        }
+    }
+}

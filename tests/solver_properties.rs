@@ -12,7 +12,8 @@ use proptest::prelude::*;
 
 /// Strategy for small frequency vectors with positive entries.
 fn frequencies(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1u32..500u32, 2..max_len).prop_map(|v| v.into_iter().map(f64::from).collect())
+    prop::collection::vec(1u32..500u32, 2..max_len)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
 }
 
 /// Deterministic 2-D features derived from the frequencies, so similarity

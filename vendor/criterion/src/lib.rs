@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — measuring with plain
+//! `std::time::Instant`. Each benchmark is warmed up, then timed over
+//! adaptively sized batches until the measurement window is filled; the
+//! mean, minimum and maximum time per iteration are printed.
+//!
+//! It is intentionally much simpler than criterion (no statistics engine, no
+//! HTML reports), but the numbers it prints are honest wall-clock
+//! measurements, which is what the workspace's throughput acceptance checks
+//! read.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(10);
+//! group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+//! group.finish();
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement window per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its measurement
+    /// window by wall-clock time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Benchmarks `f`, labelling it `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input, labelling it `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing callback handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean/min/max nanoseconds per iteration over the measured batches.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~10% of the window or 3 iterations, whichever is
+        // longer, to populate caches and branch predictors.
+        let warmup_budget = self.measurement_time / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+
+        // Measurement: batches sized to ~1/20 of the window each.
+        let batch_ns = (self.measurement_time.as_nanos() as f64 / 20.0).max(1.0);
+        let batch_iters = ((batch_ns / per_iter.max(0.5)) as u64).clamp(1, 10_000_000);
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch_iters as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, measurement_time: Duration, f: &mut F) {
+    let mut bencher = Bencher {
+        measurement_time,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => println!(
+            "{label:<48} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        ),
+        None => println!("{label:<48} time: [no measurement — Bencher::iter never called]"),
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("selftest");
+        let mut acc = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &p| {
+            b.iter(|| black_box(p) * 2)
+        });
+        group.finish();
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides just
+//! enough of serde's public surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` trait names (as marker traits with blanket
+//! impls) and the derive macros (re-exported no-ops from the vendored
+//! `serde_derive`). No actual serialization is performed anywhere in the
+//! workspace; the derives exist so the data types advertise the same API as
+//! they would with the real crates.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` impls. The
+//! vendored [`serde`] stand-in instead provides blanket impls of its marker
+//! traits, so these derives only need to *exist* and accept the same
+//! attribute grammar; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize` (no-op: blanket impls cover it).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize` (no-op: blanket impls cover it).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
