@@ -57,8 +57,8 @@ fn engine_pass(elements: &[StreamElement], shards: usize) -> u64 {
         CountMinSketch::new(WIDTH, DEPTH, 1),
         EngineConfig::with_shards(shards).batch_capacity(BATCH),
     );
-    engine.ingest_batch(elements);
-    engine.finish().total_updates()
+    engine.ingest_batch(elements).expect("bench ingest");
+    engine.finish().expect("bench finish").total_updates()
 }
 
 fn bench_ingest(c: &mut Criterion) {

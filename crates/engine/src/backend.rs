@@ -44,13 +44,37 @@ use opthash_stream::{FrequencyEstimator, SpaceReport, StreamElement};
 /// false-positive rate. [`MisraGries`] and the conservative-update
 /// Count-Min are order-dependent: merged results may differ from
 /// sequential ones but keep their deterministic error bounds.
-pub trait SketchBackend: Send {
+///
+/// # Why `Clone`?
+///
+/// The worker engine's crash-recovery protocol checkpoints each shard by
+/// *cloning* its accumulated delta (snapshot = scratch state at the last
+/// consistent point; recovery = clone the snapshot and replay the journal).
+/// Cloning, unlike a fresh [`SketchBackend::fork`], preserves whole-stream
+/// shard state — which [`AdaptiveOptHash`]'s promotion/Bloom machinery
+/// needs for the exactness statement above to survive a restart. Every
+/// estimator in the workspace is a plain bundle of counters and learned
+/// structure, so `Clone` is derivable and costs `O(state size)`.
+pub trait SketchBackend: Send + Clone {
     /// Applies `count` occurrences of `element`.
     ///
     /// Complexity: `O(depth)` hash-and-increment for the sketches, `O(1)`
     /// expected for the hash-table based estimators, amortized
     /// `O(capacity)` worst case for [`MisraGries`] evictions.
     fn ingest(&mut self, element: &StreamElement, count: u64);
+
+    /// Applies a pre-aggregated batch of weighted updates — the unit the
+    /// engine's workers hand over. Semantically identical to calling
+    /// [`SketchBackend::ingest`] once per entry in order; backends may
+    /// override it for locality (e.g. the Count-Min grid applies a batch
+    /// row by row, keeping one 64 KB counter row cache-resident instead of
+    /// striding the whole grid per update), provided the resulting state is
+    /// the same as the sequential loop's.
+    fn ingest_batch(&mut self, updates: &[(StreamElement, u64)]) {
+        for (element, count) in updates {
+            self.ingest(element, *count);
+        }
+    }
 
     /// Returns the estimated frequency of `element`.
     ///
@@ -90,6 +114,10 @@ pub trait SketchBackend: Send {
 impl SketchBackend for CountMinSketch {
     fn ingest(&mut self, element: &StreamElement, count: u64) {
         self.add(element.id, count);
+    }
+
+    fn ingest_batch(&mut self, updates: &[(StreamElement, u64)]) {
+        self.add_batch(updates.iter().map(|(element, count)| (element.id, *count)));
     }
 
     fn query(&self, element: &StreamElement) -> f64 {

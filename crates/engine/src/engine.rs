@@ -1,31 +1,105 @@
-//! The sharded, batched [`IngestEngine`].
+//! The sharded, batched, fault-isolated [`IngestEngine`].
 
 use crate::backend::SketchBackend;
+use crate::error::EngineError;
+use crate::fault::{self, FaultEvent, FaultInjector, FaultLog, SharedFaultLog};
+use crate::queue::{BatchData, QueuedBatch, ShardChannel, ShardCounters};
+use crate::worker::{apply_batch, apply_batch_injected, spawn_worker, ShardHandle, WorkerConfig};
+use opthash::MassLedger;
 use opthash_stream::{SpaceReport, Stream, StreamElement};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// One-multiply mixer (xor-fold, multiply, xor-fold — the cheap half of the
-/// MurmurHash3/SplitMix finalizers): the engine's stateless router hash.
-/// One multiply keeps it off the ingest hot path's critical latency, while
-/// the xor-folds spread entropy into both the low bits (batch slot index)
-/// and the high bits (shard selector) even for dense or strided IDs.
+/// How long the engine waits on a shard condvar before re-checking worker
+/// health: short enough that a dead worker is re-forked promptly, long
+/// enough that a healthy blocked engine costs ~no CPU.
+const SUPERVISE_TICK: Duration = Duration::from_millis(2);
+
+/// One-multiply Fibonacci mixer (xor-fold, golden-ratio multiply,
+/// xor-fold): the engine's stateless router hash. The multiplier choice is
+/// load-bearing: with a multiplier `C` close to `2^64` (e.g. the first
+/// MurmurHash3 constant), `x * C mod 2^64 ≈ 2^64 − x·(2^64 − C)` sits in a
+/// sliver just below all-ones for small dense IDs, so the high 32 bits are
+/// nearly constant and dense universes route almost entirely to the last
+/// shard. The golden-ratio multiplier `⌊2^64/φ⌋` advances the high bits by
+/// ≈0.618·2^64 per consecutive key (Fibonacci hashing), spreading dense and
+/// strided IDs evenly across shards (high bits) and batch slots (low bits);
+/// the leading xor-fold propagates high key bits downward so IDs differing
+/// only above bit 33 still mix.
 #[inline]
 fn mix64(x: u64) -> u64 {
-    let mut z = x ^ (x >> 33);
-    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    let z = (x ^ (x >> 33)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z ^ (z >> 29)
+}
+
+/// How shard batches are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// **Always-on workers** (the default): each shard owns a persistent
+    /// worker thread fed by a bounded queue, so batch application overlaps
+    /// ingestion and all cores stay busy between flushes. Workers are
+    /// panic-isolated and supervised (see the crate docs).
+    #[default]
+    Workers,
+    /// **Flush-time application**: batches are applied on the calling
+    /// thread (or scoped threads during an explicit [`IngestEngine::flush`]).
+    /// No worker threads, no queues — backpressure policies do not apply.
+    /// Kept as the pre-worker baseline for benchmarking and for contexts
+    /// where spawning threads is undesirable.
+    Inline,
+}
+
+/// What the engine does when an arrival routes to a shard whose worker
+/// queue is full (worker mode only).
+///
+/// Every policy upholds the same conservation invariant, checked by
+/// [`EngineStats::conserved`]: offered mass = accepted + rejected +
+/// degraded mass. Nothing is ever dropped silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the ingesting thread until the shard drains (lossless,
+    /// unbounded latency). The default.
+    #[default]
+    Block,
+    /// Reject the arrival with [`EngineError::Overloaded`] (bounded
+    /// latency; the caller decides how to shed load). Rejections are
+    /// counted in the `rejected` bucket of the engine's ledgers.
+    Reject,
+    /// Keep absorbing arrivals into the shard's pre-aggregating batch
+    /// buffer past its normal batch size (growing it as needed) —
+    /// duplicate-heavy traffic collapses in place, so mass is never lost
+    /// and latency stays bounded at the cost of buffer memory and batch
+    /// staleness. Arrivals admitted this way are counted in the `degraded`
+    /// bucket.
+    DegradeAggregate,
 }
 
 /// Configuration of an [`IngestEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of shards the key space is hash-partitioned into. Each shard
-    /// owns a fork of the backend and is applied by its own worker thread
-    /// during a flush.
+    /// owns a fork of the backend and (in worker mode) a persistent worker
+    /// thread.
     pub shards: usize,
-    /// Number of *distinct* elements a shard buffers before a flush is
-    /// triggered. Larger batches aggregate more duplicate arrivals (a big
+    /// Number of *distinct* elements a shard buffers before its batch is
+    /// dispatched. Larger batches aggregate more duplicate arrivals (a big
     /// win on skewed streams) at the cost of staleness and buffer memory.
     pub batch_capacity: usize,
+    /// Whether batches are applied by persistent workers or at flush time.
+    pub mode: IngestMode,
+    /// Overload behaviour when a shard's worker queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Bounded depth of each shard's worker queue, in batches.
+    pub queue_capacity: usize,
+    /// Application attempts before a panicking batch is quarantined as a
+    /// poison pill instead of being retried forever.
+    pub max_batch_attempts: u32,
+    /// Committed batches between worker checkpoints. Smaller values bound
+    /// recovery replay tighter; larger values amortize the O(state)
+    /// snapshot clone over more batches.
+    pub checkpoint_interval: u32,
 }
 
 impl Default for EngineConfig {
@@ -33,12 +107,17 @@ impl Default for EngineConfig {
         EngineConfig {
             shards: 4,
             batch_capacity: 8_192,
+            mode: IngestMode::Workers,
+            backpressure: BackpressurePolicy::Block,
+            queue_capacity: 8,
+            max_batch_attempts: 3,
+            checkpoint_interval: 8,
         }
     }
 }
 
 impl EngineConfig {
-    /// A configuration with `shards` shards and the default batch capacity.
+    /// A configuration with `shards` shards and the remaining defaults.
     pub fn with_shards(shards: usize) -> Self {
         EngineConfig {
             shards,
@@ -51,33 +130,119 @@ impl EngineConfig {
         self.batch_capacity = batch_capacity;
         self
     }
+
+    /// Sets the ingest mode.
+    pub fn mode(mut self, mode: IngestMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the backpressure policy (worker mode only).
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Sets the per-shard worker queue depth, in batches.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the poison-pill quarantine threshold.
+    pub fn max_batch_attempts(mut self, attempts: u32) -> Self {
+        self.max_batch_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the worker checkpoint interval, in committed batches.
+    pub fn checkpoint_interval(mut self, batches: u32) -> Self {
+        self.checkpoint_interval = batches.max(1);
+        self
+    }
 }
 
-/// Counters describing what an [`IngestEngine`] has done so far.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters describing what an [`IngestEngine`] has done so far — a
+/// consistent snapshot assembled by [`IngestEngine::stats`].
+///
+/// The two [`MassLedger`]s carry the engine's conservation invariant: under
+/// every [`BackpressurePolicy`], offered = accepted + rejected + degraded,
+/// for arrival counts (`elements`) and weighted count mass (`mass`) alike.
+/// [`EngineStats::unaccounted_mass`] additionally audits where admitted
+/// mass currently sits (applied, buffered, queued, or quarantined); after a
+/// [`IngestEngine::flush`] it must be exactly zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Arrivals accepted (one per [`IngestEngine::ingest`] call).
-    pub ingested_elements: u64,
-    /// Total count mass accepted (≥ `ingested_elements` for weighted
-    /// ingestion).
-    pub ingested_mass: u64,
-    /// Number of flushes performed.
+    /// Conservation ledger over arrivals (each ingest call is one unit).
+    pub elements: MassLedger,
+    /// Conservation ledger over weighted count mass.
+    pub mass: MassLedger,
+    /// Weight-0 updates rejected at the API boundary (carry no mass, so
+    /// they are excluded from the ledgers).
+    pub zero_weight_rejections: u64,
+    /// Flush passes performed (explicit or query-forced).
     pub flushes: u64,
-    /// Weighted updates actually applied to shard backends. The ratio
-    /// `ingested_elements / applied_updates` is the batching win: duplicate
-    /// arrivals of an element within a batch collapse into one update.
+    /// Weighted updates applied to shard backends. The ratio of admitted
+    /// elements to applied updates is the batching win: duplicate arrivals
+    /// of an element within a batch collapse into one update.
     pub applied_updates: u64,
+    /// Count mass applied to shard backends.
+    pub applied_mass: u64,
+    /// Distinct elements currently pending in shard batch buffers.
+    pub buffered_updates: u64,
+    /// Count mass currently pending in shard batch buffers.
+    pub buffered_mass: u64,
+    /// Count mass dispatched to worker queues but not yet applied.
+    pub queued_mass: u64,
+    /// Pre-aggregated updates set aside in poison-pill quarantine.
+    pub quarantined_updates: u64,
+    /// Count mass set aside in poison-pill quarantine.
+    pub quarantined_mass: u64,
+    /// Batch application attempts that panicked (caught and retried or
+    /// quarantined).
+    pub batch_failures: u64,
+    /// Shard workers re-forked by the supervisor after a death.
+    pub worker_restarts: u64,
 }
 
 impl EngineStats {
+    /// Arrivals admitted into the engine (accepted + degraded).
+    pub fn ingested_elements(&self) -> u64 {
+        self.elements.admitted()
+    }
+
+    /// Count mass admitted into the engine (accepted + degraded).
+    pub fn ingested_mass(&self) -> u64 {
+        self.mass.admitted()
+    }
+
     /// Average number of arrivals collapsed into one applied update
     /// (1.0 = no aggregation; higher is better).
     pub fn aggregation_factor(&self) -> f64 {
         if self.applied_updates == 0 {
             1.0
         } else {
-            self.ingested_elements as f64 / self.applied_updates as f64
+            self.ingested_elements() as f64 / self.applied_updates as f64
         }
+    }
+
+    /// The intake conservation invariant: every offered arrival and every
+    /// unit of offered mass is accounted as accepted, rejected, or
+    /// degraded.
+    pub fn conserved(&self) -> bool {
+        self.elements.conserved() && self.mass.conserved()
+    }
+
+    /// Admitted mass not locatable in the engine (not applied, buffered,
+    /// queued, or quarantined). Zero at all times for a healthy engine;
+    /// after [`IngestEngine::flush`] anything other than zero means mass
+    /// was lost (negative: double-counted).
+    pub fn unaccounted_mass(&self) -> i128 {
+        self.mass.admitted() as i128
+            - self.applied_mass as i128
+            - self.buffered_mass as i128
+            - self.queued_mass as i128
+            - self.quarantined_mass as i128
     }
 }
 
@@ -89,10 +254,15 @@ impl EngineStats {
 /// for the hot head of a skewed stream). Feature vectors — needed only by
 /// the learned backends for elements that carry them — live in a lazily
 /// allocated side table that the probe loop never reads. A slot is empty
-/// iff its count is zero (the engine never buffers zero-count updates).
+/// iff its count is zero: weight-0 updates are rejected at the engine API
+/// boundary ([`EngineError::ZeroWeight`]) precisely so that a real arrival
+/// can never be mistaken for an empty slot.
 ///
-/// The table is sized for a maximum load factor of 3/4, so an upsert
-/// probes O(1) expected slots.
+/// The table is sized for a maximum load factor of 3/4, so an upsert probes
+/// O(1) expected slots. Under [`BackpressurePolicy::DegradeAggregate`] the
+/// buffer may be asked to hold more than its configured batch capacity; it
+/// then grows (doubling and rehashing) to keep the load factor bounded, so
+/// aggregation continues instead of mass being dropped.
 #[derive(Debug)]
 struct BatchBuffer {
     /// `(element id, pending count)`; `count == 0` marks an empty slot.
@@ -125,13 +295,26 @@ impl BatchBuffer {
         self.len == 0
     }
 
-    /// Adds `count > 0` arrivals of `element`; returns `true` once the
-    /// buffer has reached its distinct-element limit and should be flushed.
-    /// The element is cloned only when a *featured* element occupies a slot
-    /// for the first time — duplicate arrivals (the common case on skewed
-    /// streams) touch nothing but the 16-byte entry.
+    /// `true` once the buffer holds its configured batch capacity of
+    /// distinct elements and should be dispatched before growing further.
+    #[inline]
+    fn is_at_limit(&self) -> bool {
+        self.len >= self.limit
+    }
+
+    /// Adds `count > 0` arrivals of `element`. The element is cloned only
+    /// when a *featured* element occupies a slot for the first time —
+    /// duplicate arrivals (the common case on skewed streams) touch nothing
+    /// but the 16-byte entry.
+    ///
+    /// Returns `true` when this upsert brought the buffer to its batch
+    /// limit — computed on the insert branch only, so the duplicate-bump
+    /// hot path pays for no limit check at all. (A buffer already past its
+    /// limit — degraded mode — reports `false` for duplicate bumps; callers
+    /// that care about standing fullness use [`BatchBuffer::is_at_limit`].)
     #[inline]
     fn upsert(&mut self, hash: u64, element: &StreamElement, count: u64) -> bool {
+        debug_assert!(count > 0, "zero-weight updates are rejected upstream");
         let key = element.id.raw();
         // Deriving the mask from `entries.len()` (a power of two) lets the
         // compiler prove the probe index in bounds and elide the checks.
@@ -155,7 +338,45 @@ impl BatchBuffer {
                 self.featured[idx] = Some(element.clone());
             }
             self.len += 1;
+            // Growth is only reachable past the batch limit (degraded
+            // mode): the normal dispatch path drains the buffer at `limit`,
+            // well under the 3/4 load factor this check maintains. Checking
+            // on insert only keeps it off the duplicate-bump hot path, and
+            // growing *after* the insert is sound — the rehash carries the
+            // new entry along.
+            if self.len * 4 >= self.entries.len() * 3 {
+                self.grow();
+            }
             return self.len >= self.limit;
+        }
+    }
+
+    /// Doubles the slot table and rehashes every pending entry.
+    fn grow(&mut self) {
+        let new_slots = self.entries.len() * 2;
+        let old_entries = std::mem::replace(&mut self.entries, vec![(0, 0); new_slots]);
+        let had_featured = !self.featured.is_empty();
+        let mut old_featured = std::mem::replace(
+            &mut self.featured,
+            if had_featured {
+                vec![None; new_slots]
+            } else {
+                Vec::new()
+            },
+        );
+        let mask = new_slots - 1;
+        for (old_idx, &(key, count)) in old_entries.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let mut idx = mix64(key) as usize & mask;
+            while self.entries[idx].1 != 0 {
+                idx = (idx + 1) & mask;
+            }
+            self.entries[idx] = (key, count);
+            if had_featured {
+                self.featured[idx] = old_featured[old_idx].take();
+            }
         }
     }
 
@@ -176,59 +397,113 @@ impl BatchBuffer {
         let _ = idx;
     }
 
-    /// Applies and clears every pending entry; returns the number of
-    /// weighted updates applied.
-    fn drain_into<B: SketchBackend>(&mut self, backend: &mut B) -> u64 {
-        let mut applied = 0u64;
+    /// Count mass currently pending in the buffer. Computed by scanning the
+    /// slot table so the upsert hot path doesn't maintain a running total;
+    /// callers are cold paths (stats snapshots).
+    fn pending_mass(&self) -> u64 {
+        self.entries.iter().map(|&(_, count)| count).sum()
+    }
+
+    /// Drains every pending entry into an immutable batch for dispatch.
+    fn drain_to_batch(&mut self) -> BatchData {
+        let mut updates = Vec::with_capacity(self.len);
+        let mut mass = 0u64;
         for idx in 0..self.entries.len() {
             let (key, count) = self.entries[idx];
             if count == 0 {
                 continue;
             }
             self.entries[idx] = (0, 0);
+            mass += count;
             match self.featured.get_mut(idx).and_then(Option::take) {
-                Some(element) => backend.ingest(&element, count),
-                None => backend.ingest(&StreamElement::without_features(key), count),
+                Some(element) => updates.push((element, count)),
+                None => updates.push((StreamElement::without_features(key), count)),
             }
-            applied += 1;
         }
         self.len = 0;
-        applied
+        BatchData { updates, mass }
     }
 }
 
-/// A sharded, batched ingestion front-end for any [`SketchBackend`].
+/// Mode-specific engine state.
+enum ModeState<B: SketchBackend> {
+    Inline {
+        shards: Vec<B>,
+        poisoned: Vec<bool>,
+        counters: ShardCounters,
+        quarantined: Vec<Arc<BatchData>>,
+    },
+    Workers {
+        handles: Vec<ShardHandle<B>>,
+    },
+}
+
+enum DispatchOutcome {
+    Dispatched,
+    QueueFull,
+}
+
+/// A sharded, batched, fault-isolated ingestion front-end for any
+/// [`SketchBackend`].
 ///
 /// Arrivals are hash-partitioned by element ID across `N` shards. Each shard
 /// buffers its arrivals in a pre-aggregating batch (duplicate IDs collapse
 /// into one weighted update — a large win on the skewed streams the paper
-/// studies); full batches are applied to per-shard backend forks by worker
-/// threads spawned with [`std::thread::scope`]. Queries merge the shard
-/// forks back into a single estimator (cached until the next ingest).
+/// studies). In the default [`IngestMode::Workers`], full batches are fed
+/// through a bounded queue to the shard's **persistent worker thread**, so
+/// application overlaps ingestion and all cores stay busy between flushes;
+/// overload behaviour is governed by the configured [`BackpressurePolicy`].
+/// Queries flush, sync every worker to a consistent checkpoint, and merge
+/// the shard snapshots into a single estimator (cached until the next
+/// ingest).
 ///
-/// Because the partition is *by ID*, every distinct element lives in exactly
-/// one shard, which makes sharding exact for all linear backends **and** for
-/// [`opthash::AdaptiveOptHash`]. Exactness assumes each ID's features are
-/// identical across appearances, as [`StreamElement`] specifies: within a
-/// batch window duplicate arrivals are applied through the ID's first-seen
-/// element (see [`SketchBackend`] for the full contract).
+/// # Robustness
 ///
-/// Memory: the engine keeps `shards + 1` copies of the backend's counter
-/// state (the pristine base plus one fork per shard) plus
-/// `2 × batch_capacity` buffered elements per shard, trading memory for
-/// ingest throughput.
-#[derive(Debug)]
+/// Worker-mode engines treat failure as a first-class input (see the
+/// crate-level docs for the full model): batch application is
+/// panic-isolated, poison-pill batches are quarantined after a bounded
+/// number of attempts, dead workers are re-forked from their shard's last
+/// checkpoint with the surviving queue replayed, and every such event is
+/// recorded in the [`FaultLog`]. The fallible operations return
+/// [`EngineError`] instead of panicking, and [`EngineStats`] carries
+/// conservation ledgers proving no arrival is ever silently dropped.
+///
+/// # Exactness
+///
+/// Because the partition is *by ID*, every distinct element lives in
+/// exactly one shard, which makes sharding exact for all linear backends
+/// **and** for [`opthash::AdaptiveOptHash`]. Exactness assumes each ID's
+/// features are identical across appearances, as [`StreamElement`]
+/// specifies: within a batch window duplicate arrivals are applied through
+/// the ID's first-seen element (see [`SketchBackend`] for the full
+/// contract).
+///
+/// # Memory
+///
+/// The engine keeps `2 × shards + 1` copies of the backend's counter state
+/// in worker mode (the pristine base, plus each shard's checkpoint snapshot
+/// and worker scratch copy), plus up to
+/// `queue_capacity + checkpoint_interval` batches per shard in flight,
+/// trading memory for ingest throughput and crash recoverability.
 pub struct IngestEngine<B: SketchBackend> {
     base: B,
-    shards: Vec<B>,
     buffers: Vec<BatchBuffer>,
+    mode: ModeState<B>,
     merged: Option<B>,
     config: EngineConfig,
-    stats: EngineStats,
+    elements: MassLedger,
+    mass: MassLedger,
+    zero_weight_rejections: u64,
+    flushes: u64,
+    dirty: bool,
+    faults: FaultInjector,
+    fault_log: SharedFaultLog,
 }
 
-impl<B: SketchBackend> IngestEngine<B> {
-    /// Wraps `backend` in an engine with the given configuration.
+impl<B: SketchBackend + 'static> IngestEngine<B> {
+    /// Wraps `backend` in an engine with the given configuration. In
+    /// [`IngestMode::Workers`] the per-shard worker threads start
+    /// immediately and live until the engine is finished or dropped.
     ///
     /// The backend may already hold state (e.g. a trained
     /// [`opthash::OptHash`] with prefix counts); that state is preserved in
@@ -239,22 +514,63 @@ impl<B: SketchBackend> IngestEngine<B> {
     /// Panics if `config.shards` is zero.
     pub fn new(backend: B, config: EngineConfig) -> Self {
         assert!(config.shards > 0, "engine needs at least one shard");
-        let shards: Vec<B> = (0..config.shards).map(|_| backend.fork()).collect();
         let buffers = (0..config.shards)
             .map(|_| BatchBuffer::new(config.batch_capacity))
             .collect();
+        let faults = FaultInjector::new();
+        let fault_log: SharedFaultLog = Arc::new(Mutex::new(FaultLog::default()));
+        let mode = match config.mode {
+            IngestMode::Inline => ModeState::Inline {
+                shards: (0..config.shards).map(|_| backend.fork()).collect(),
+                poisoned: vec![false; config.shards],
+                counters: ShardCounters::default(),
+                quarantined: Vec::new(),
+            },
+            IngestMode::Workers => {
+                let handles = (0..config.shards)
+                    .map(|shard| {
+                        let cell =
+                            Arc::new(ShardChannel::new(backend.fork(), config.queue_capacity));
+                        let thread = spawn_worker(
+                            Arc::clone(&cell),
+                            Arc::clone(&fault_log),
+                            faults.clone(),
+                            WorkerConfig {
+                                shard,
+                                max_batch_attempts: config.max_batch_attempts,
+                                checkpoint_interval: config.checkpoint_interval,
+                            },
+                            0,
+                        );
+                        ShardHandle {
+                            cell,
+                            thread: Some(thread),
+                            generation: 0,
+                            poison_logged: false,
+                        }
+                    })
+                    .collect();
+                ModeState::Workers { handles }
+            }
+        };
         IngestEngine {
             base: backend,
-            shards,
             buffers,
+            mode,
             merged: None,
             config,
-            stats: EngineStats::default(),
+            elements: MassLedger::default(),
+            mass: MassLedger::default(),
+            zero_weight_rejections: 0,
+            flushes: 0,
+            dirty: false,
+            faults,
+            fault_log,
         }
     }
 
-    /// Wraps `backend` with the default configuration (4 shards, 8 Ki
-    /// distinct elements per batch).
+    /// Wraps `backend` with the default configuration (4 worker shards,
+    /// 8 Ki distinct elements per batch, blocking backpressure).
     pub fn with_defaults(backend: B) -> Self {
         Self::new(backend, EngineConfig::default())
     }
@@ -264,9 +580,53 @@ impl<B: SketchBackend> IngestEngine<B> {
         &self.config
     }
 
-    /// Ingestion counters.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Handle for programming deterministic faults into this engine (only
+    /// effective with the `failpoints` cargo feature; see [`crate::fault`]).
+    pub fn fault_injector(&self) -> FaultInjector {
+        self.faults.clone()
+    }
+
+    /// Snapshot of the robustness events this engine has handled.
+    pub fn fault_log(&self) -> FaultLog {
+        self.fault_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// A consistent snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut counters = ShardCounters::default();
+        match &self.mode {
+            ModeState::Inline {
+                counters: inline, ..
+            } => counters.absorb(inline),
+            ModeState::Workers { handles } => {
+                for handle in handles {
+                    let inner = handle.cell.lock_always();
+                    counters.absorb(&inner.counters);
+                }
+            }
+        }
+        let mut stats = EngineStats {
+            elements: self.elements,
+            mass: self.mass,
+            zero_weight_rejections: self.zero_weight_rejections,
+            flushes: self.flushes,
+            applied_updates: counters.applied_updates,
+            applied_mass: counters.applied_mass,
+            queued_mass: counters.queued_mass,
+            quarantined_updates: counters.quarantined_updates,
+            quarantined_mass: counters.quarantined_mass,
+            batch_failures: counters.batch_failures,
+            worker_restarts: counters.worker_restarts,
+            ..EngineStats::default()
+        };
+        for buffer in &self.buffers {
+            stats.buffered_updates += buffer.len as u64;
+            stats.buffered_mass += buffer.pending_mass();
+        }
+        stats
     }
 
     /// Number of distinct elements currently buffered across all shards.
@@ -274,111 +634,517 @@ impl<B: SketchBackend> IngestEngine<B> {
         self.buffers.iter().map(|b| b.len).sum()
     }
 
-    /// Accepts one arrival.
-    #[inline]
-    pub fn ingest(&mut self, element: &StreamElement) {
-        self.ingest_weighted(element, 1);
+    /// The pre-aggregated updates of every quarantined poison-pill batch,
+    /// in shard order: the mass the engine refused to lose silently. A
+    /// caller can inspect or re-apply them (e.g. to a fresh engine after
+    /// fixing the underlying fault).
+    pub fn quarantined(&self) -> Vec<(StreamElement, u64)> {
+        let mut updates = Vec::new();
+        let mut collect = |batches: &[Arc<BatchData>]| {
+            for batch in batches {
+                updates.extend(batch.updates.iter().cloned());
+            }
+        };
+        match &self.mode {
+            ModeState::Inline { quarantined, .. } => collect(quarantined),
+            ModeState::Workers { handles } => {
+                for handle in handles {
+                    let inner = handle.cell.lock_always();
+                    collect(&inner.quarantined);
+                }
+            }
+        }
+        updates
     }
 
-    /// Accepts `count` arrivals of `element` at once (`count == 0` is a
-    /// no-op, matching the backends' `add` semantics).
+    /// Accepts one arrival.
     #[inline]
-    pub fn ingest_weighted(&mut self, element: &StreamElement, count: u64) {
+    pub fn ingest(&mut self, element: &StreamElement) -> Result<(), EngineError> {
+        self.ingest_weighted(element, 1)
+    }
+
+    /// Accepts `count` arrivals of `element` at once.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::ZeroWeight`] — `count == 0` (counted in
+    ///   [`EngineStats::zero_weight_rejections`]).
+    /// * [`EngineError::Overloaded`] — the target shard's queue is full
+    ///   under [`BackpressurePolicy::Reject`]; the arrival was not admitted
+    ///   and is counted in the rejected ledger buckets.
+    /// * [`EngineError::ShardPoisoned`] — the target shard is fenced off.
+    #[inline]
+    pub fn ingest_weighted(
+        &mut self,
+        element: &StreamElement,
+        count: u64,
+    ) -> Result<(), EngineError> {
+        self.faults.hit_result_at("engine::ingest", None)?;
         if count == 0 {
-            return;
+            self.zero_weight_rejections += 1;
+            return Err(EngineError::ZeroWeight { id: element.id });
         }
-        // No `merged` invalidation here: the arrival lands in a buffer, and
-        // both paths that could expose it (auto-drain below, `flush` before
-        // any query/merge) invalidate the cache themselves.
-        self.stats.ingested_elements += 1;
-        self.stats.ingested_mass += count;
+        self.admit(element, count)
+    }
+
+    /// Routes, applies backpressure, and buffers one non-zero arrival.
+    #[inline]
+    fn admit(&mut self, element: &StreamElement, count: u64) -> Result<(), EngineError> {
         let hash = mix64(element.id.raw());
         // Multiply-shift on the high bits picks the shard; the low bits
         // index the buffer's slot table, so the two stay decorrelated.
-        let shard = (((hash >> 32) * self.shards.len() as u64) >> 32) as usize;
-        if self.buffers[shard].upsert(hash, element, count) {
-            // Drain only the full shard: its siblings keep aggregating
-            // their half-filled batches (flushing everything here would
-            // waste their remaining deduplication window).
-            self.merged = None;
-            self.stats.flushes += 1;
-            self.stats.applied_updates += self.buffers[shard].drain_into(&mut self.shards[shard]);
+        let shard = (((hash >> 32) * self.buffers.len() as u64) >> 32) as usize;
+        let mut degraded = false;
+        if self.buffers[shard].is_at_limit() {
+            match self.dispatch(shard, false)? {
+                DispatchOutcome::Dispatched => {}
+                DispatchOutcome::QueueFull => match self.config.backpressure {
+                    BackpressurePolicy::Reject => {
+                        self.elements.reject(1);
+                        self.mass.reject(count);
+                        return Err(EngineError::Overloaded {
+                            shard,
+                            queue_capacity: self.config.queue_capacity,
+                        });
+                    }
+                    BackpressurePolicy::DegradeAggregate => degraded = true,
+                    // `dispatch` blocks until space under Block.
+                    BackpressurePolicy::Block => unreachable!("Block never reports a full queue"),
+                },
+            }
         }
+        if degraded {
+            self.elements.degrade(1);
+            self.mass.degrade(count);
+        } else {
+            self.elements.accept(1);
+            self.mass.accept(count);
+        }
+        self.buffers[shard].upsert(hash, element, count);
+        self.dirty = true;
+        Ok(())
     }
 
     /// Accepts a slice of arrivals — the engine's preferred bulk path.
     ///
-    /// Beyond amortizing per-call bookkeeping (the stats counters are
-    /// maintained in registers across the loop), each arrival's batch slot
-    /// is prefetched a few elements ahead, hiding the cache-miss latency of
+    /// Beyond amortizing per-call bookkeeping, each arrival's batch slot is
+    /// prefetched a few elements ahead, hiding the cache-miss latency of
     /// cold (tail) elements behind the work of the hot head.
-    pub fn ingest_batch(&mut self, elements: &[StreamElement]) {
+    ///
+    /// Under [`BackpressurePolicy::Reject`] the bulk path does **not** stop
+    /// at the first overloaded arrival: rejected arrivals are counted in
+    /// the ledgers (preserving the conservation invariant) and the rest of
+    /// the slice is processed. Other errors abort and propagate.
+    pub fn ingest_batch(&mut self, elements: &[StreamElement]) -> Result<(), EngineError> {
         /// How many arrivals ahead to prefetch: far enough to cover an
-        /// L2/L3 miss, near enough to stay in the prefetch queues.
-        const LOOKAHEAD: usize = 12;
-        let nshards = self.shards.len() as u64;
-        for (position, element) in elements.iter().enumerate() {
-            if let Some(upcoming) = elements.get(position + LOOKAHEAD) {
-                let hash = mix64(upcoming.id.raw());
-                let shard = (((hash >> 32) * nshards) >> 32) as usize;
-                self.buffers[shard].prefetch(hash);
+        /// L2/L3 miss, near enough to stay in the prefetch queues. A power
+        /// of two, so the hash-ring index below is a mask.
+        const LOOKAHEAD: usize = 16;
+        self.faults.hit_result_at("engine::ingest", None)?;
+        if !matches!(self.config.backpressure, BackpressurePolicy::Block) {
+            // Reject can shed and DegradeAggregate can reroute arrivals, so
+            // those policies need the per-arrival ledger accounting of
+            // `admit`; surfaced rejections are absorbed here (they are on
+            // the ledger) to keep the bulk path total.
+            for element in elements {
+                match self.admit(element, 1) {
+                    Ok(()) | Err(EngineError::Overloaded { .. }) => {}
+                    Err(err) => return Err(err),
+                }
             }
-            let hash = mix64(element.id.raw());
-            let shard = (((hash >> 32) * nshards) >> 32) as usize;
-            if self.buffers[shard].upsert(hash, element, 1) {
-                self.merged = None;
-                self.stats.flushes += 1;
-                self.stats.applied_updates +=
-                    self.buffers[shard].drain_into(&mut self.shards[shard]);
-            }
+            return Ok(());
         }
-        self.stats.ingested_elements += elements.len() as u64;
-        self.stats.ingested_mass += elements.len() as u64;
+        // Block admits every arrival unconditionally, so the ledger can be
+        // settled once for the whole slice instead of per element — this
+        // loop is the engine's hottest path. Splitting the slice at
+        // `len - LOOKAHEAD` makes the prefetch unconditional in the main
+        // loop (zip bounds it) and leaves a short prefetch-free tail. A
+        // LOOKAHEAD-deep hash ring carries each lookahead hash forward to
+        // its own arrival, so every ID is mixed exactly once: the ring slot
+        // read for arrival `i` is the slot written at arrival `i - LOOKAHEAD`
+        // (same slot, period LOOKAHEAD).
+        let mut ring = [0u64; LOOKAHEAD];
+        for (slot, element) in ring.iter_mut().zip(elements.iter()) {
+            *slot = mix64(element.id.raw());
+        }
+        let split = elements.len().saturating_sub(LOOKAHEAD);
+        let (head, tail) = elements.split_at(split);
+        let mut position = 0usize;
+        for (element, upcoming) in head.iter().zip(elements[LOOKAHEAD..].iter()) {
+            let hash = ring[position & (LOOKAHEAD - 1)];
+            let ahead = mix64(upcoming.id.raw());
+            ring[position & (LOOKAHEAD - 1)] = ahead;
+            position += 1;
+            let nshards = self.buffers.len() as u64;
+            let shard = (((ahead >> 32) * nshards) >> 32) as usize;
+            self.buffers[shard].prefetch(ahead);
+            self.block_ingest_one(hash, element)?;
+        }
+        for element in tail {
+            let hash = ring[position & (LOOKAHEAD - 1)];
+            position += 1;
+            self.block_ingest_one(hash, element)?;
+        }
+        self.elements.accept(elements.len() as u64);
+        self.mass.accept(elements.len() as u64);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// One arrival on the Block-policy bulk path (`hash` is the arrival's
+    /// precomputed `mix64`): one bounds-checked shard lookup, one probe, and
+    /// the batch-limit check only on the rare insert branch inside `upsert`.
+    /// The arrival that fills a buffer dispatches it. Ledger accounting is
+    /// settled by the caller for the whole slice.
+    #[inline(always)]
+    fn block_ingest_one(&mut self, hash: u64, element: &StreamElement) -> Result<(), EngineError> {
+        let shard = (((hash >> 32) * self.buffers.len() as u64) >> 32) as usize;
+        if self.buffers[shard].upsert(hash, element, 1) {
+            self.dispatch(shard, false)?;
+        }
+        Ok(())
     }
 
     /// Accepts a whole stream in arrival order.
-    pub fn ingest_stream(&mut self, stream: &Stream) {
-        self.ingest_batch(stream.as_slice());
+    pub fn ingest_stream(&mut self, stream: &Stream) -> Result<(), EngineError> {
+        self.ingest_batch(stream.as_slice())
     }
 
-    /// Applies every buffered batch to its shard's backend fork.
+    /// Drains `shard`'s buffer and hands the batch to its worker (or
+    /// applies it inline). `force_block` overrides the configured policy
+    /// with blocking semantics — used by [`IngestEngine::flush`], which
+    /// must never shed load.
+    fn dispatch(
+        &mut self,
+        shard: usize,
+        force_block: bool,
+    ) -> Result<DispatchOutcome, EngineError> {
+        if matches!(self.mode, ModeState::Inline { .. }) {
+            return self.dispatch_inline(shard);
+        }
+        self.faults.hit_result_at("engine::dispatch", Some(shard))?;
+        let cell = {
+            let ModeState::Workers { handles } = &self.mode else {
+                unreachable!("inline handled above")
+            };
+            Arc::clone(&handles[shard].cell)
+        };
+        let policy = if force_block {
+            BackpressurePolicy::Block
+        } else {
+            self.config.backpressure
+        };
+        match policy {
+            BackpressurePolicy::Block => {
+                let data = Arc::new(self.buffers[shard].drain_to_batch());
+                loop {
+                    if cell.try_push(Arc::clone(&data)) {
+                        return Ok(DispatchOutcome::Dispatched);
+                    }
+                    self.supervise();
+                    let (_, poisoned) = cell.wait_space(SUPERVISE_TICK);
+                    if poisoned {
+                        return Err(EngineError::ShardPoisoned { shard });
+                    }
+                }
+            }
+            BackpressurePolicy::Reject | BackpressurePolicy::DegradeAggregate => {
+                if cell.is_full() {
+                    // A full queue can mean a dead worker: give the
+                    // supervisor a chance to re-fork it before concluding
+                    // this is genuine overload.
+                    self.supervise();
+                    if cell.is_full() {
+                        return Ok(DispatchOutcome::QueueFull);
+                    }
+                }
+                let (_, poisoned) = cell.sync_state(0);
+                if poisoned {
+                    return Err(EngineError::ShardPoisoned { shard });
+                }
+                let data = Arc::new(self.buffers[shard].drain_to_batch());
+                let pushed = cell.try_push(data);
+                debug_assert!(
+                    pushed,
+                    "single producer: space cannot vanish after the check"
+                );
+                Ok(DispatchOutcome::Dispatched)
+            }
+        }
+    }
+
+    /// Flush-time (inline-mode) batch application on the calling thread,
+    /// panic-isolated: a panic poisons only the affected shard.
+    fn dispatch_inline(&mut self, shard: usize) -> Result<DispatchOutcome, EngineError> {
+        let ModeState::Inline {
+            shards,
+            poisoned,
+            counters,
+            quarantined,
+        } = &mut self.mode
+        else {
+            unreachable!("caller checked the mode")
+        };
+        if poisoned[shard] {
+            return Err(EngineError::ShardPoisoned { shard });
+        }
+        let batch = Arc::new(self.buffers[shard].drain_to_batch());
+        let backend = &mut shards[shard];
+        let faults = &self.faults;
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            apply_batch_injected(backend, &batch, faults, shard);
+        }));
+        match applied {
+            Ok(()) => {
+                counters.applied_updates += batch.updates.len() as u64;
+                counters.applied_mass += batch.mass;
+                Ok(DispatchOutcome::Dispatched)
+            }
+            Err(_) => {
+                // The shard backend may be half-updated: fence it off and
+                // set the batch aside so its mass stays accounted.
+                poisoned[shard] = true;
+                counters.batch_failures += 1;
+                counters.quarantined_updates += batch.updates.len() as u64;
+                counters.quarantined_mass += batch.mass;
+                quarantined.push(batch);
+                fault::record(&self.fault_log, FaultEvent::ShardPoisoned { shard });
+                Err(EngineError::ShardPoisoned { shard })
+            }
+        }
+    }
+
+    /// Detects dead shard workers and re-forks replacements (worker mode).
     ///
-    /// With more than one shard the batches are applied concurrently, one
-    /// scoped worker thread per non-empty shard ([`std::thread::scope`]);
-    /// a single-shard engine applies inline to skip the spawn cost.
-    ///
-    /// Called automatically before a query/merge; during ingestion a shard
-    /// whose batch fills up is drained individually instead (inline, so its
-    /// siblings keep their deduplication windows).
-    pub fn flush(&mut self) {
-        if self.buffers.iter().all(|b| b.is_empty()) {
+    /// A replacement rebuilds the shard's state from its last checkpoint
+    /// plus the recovery journal, requeues any batch that was inflight when
+    /// the worker died, and replays the surviving queue — so a worker death
+    /// loses nothing. The engine supervises automatically whenever it waits
+    /// on a shard (dispatch under backpressure, flush barriers); calling
+    /// this directly is only needed to reap a death while the engine is
+    /// otherwise idle.
+    pub fn supervise(&mut self) {
+        let ModeState::Workers { handles } = &mut self.mode else {
             return;
+        };
+        for (shard, handle) in handles.iter_mut().enumerate() {
+            let died = handle
+                .thread
+                .as_ref()
+                .map_or(false, JoinHandle::is_finished)
+                && !handle.cell.is_closed();
+            if !died {
+                continue;
+            }
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+            if handle.cell.lock_always().poisoned {
+                if !handle.poison_logged {
+                    fault::record(&self.fault_log, FaultEvent::ShardPoisoned { shard });
+                    handle.poison_logged = true;
+                }
+                continue;
+            }
+            // The death may have struck mid-batch: disposition the inflight
+            // batch exactly like a caught batch panic (retry, then
+            // quarantine), since the replacement's rebuilt state excludes
+            // it.
+            match handle.cell.fail_inflight(self.config.max_batch_attempts) {
+                crate::queue::FailDisposition::Requeued { attempt, mass } => fault::record(
+                    &self.fault_log,
+                    FaultEvent::BatchPanicked {
+                        shard,
+                        attempt,
+                        mass,
+                    },
+                ),
+                crate::queue::FailDisposition::Quarantined { mass, updates } => fault::record(
+                    &self.fault_log,
+                    FaultEvent::BatchQuarantined {
+                        shard,
+                        mass,
+                        updates,
+                    },
+                ),
+                crate::queue::FailDisposition::Idle => {}
+            }
+            handle.generation += 1;
+            handle.cell.lock_always().counters.worker_restarts += 1;
+            fault::record(
+                &self.fault_log,
+                FaultEvent::WorkerRestarted {
+                    shard,
+                    generation: handle.generation,
+                },
+            );
+            handle.thread = Some(spawn_worker(
+                Arc::clone(&handle.cell),
+                Arc::clone(&self.fault_log),
+                self.faults.clone(),
+                WorkerConfig {
+                    shard,
+                    max_batch_attempts: self.config.max_batch_attempts,
+                    checkpoint_interval: self.config.checkpoint_interval,
+                },
+                handle.generation,
+            ));
+        }
+    }
+
+    /// Dispatches every buffered batch and synchronizes every shard to a
+    /// consistent checkpoint covering all admitted arrivals.
+    ///
+    /// Flush never sheds load: pending batches are enqueued with blocking
+    /// semantics regardless of the configured backpressure policy, and the
+    /// barrier waits for every worker to drain its queue and publish a
+    /// checkpoint (supervising — and if necessary restarting — workers
+    /// while it waits). Called automatically before a query/merge.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardPoisoned`] if a shard's state is unrecoverable;
+    /// the remaining shards are still flushed as far as possible.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        if !self.dirty {
+            return Ok(());
         }
         self.merged = None;
-        self.stats.flushes += 1;
-        let applied: u64 = if self.shards.len() == 1 {
-            self.buffers[0].drain_into(&mut self.shards[0])
-        } else {
-            std::thread::scope(|scope| {
-                let mut workers = Vec::with_capacity(self.shards.len());
-                for (shard, buffer) in self.shards.iter_mut().zip(self.buffers.iter_mut()) {
-                    if buffer.is_empty() {
-                        continue;
+        self.flushes += 1;
+        match self.config.mode {
+            IngestMode::Inline => self.flush_inline()?,
+            IngestMode::Workers => {
+                for shard in 0..self.buffers.len() {
+                    if !self.buffers[shard].is_empty() {
+                        self.dispatch(shard, true)?;
                     }
-                    workers.push(scope.spawn(move || buffer.drain_into(shard)));
                 }
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("shard worker panicked"))
-                    .sum()
-            })
+                self.barrier()?;
+            }
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Inline-mode flush: applies all pending batches, one scoped worker
+    /// thread per non-empty shard (a single-shard engine applies on the
+    /// calling thread to skip the spawn cost). This is the pre-worker
+    /// engine's flush-time parallelism, kept for [`IngestMode::Inline`].
+    fn flush_inline(&mut self) -> Result<(), EngineError> {
+        let ModeState::Inline {
+            shards,
+            poisoned,
+            counters,
+            quarantined,
+        } = &mut self.mode
+        else {
+            unreachable!("caller checked the mode")
         };
-        self.stats.applied_updates += applied;
+        let mut first_err = None;
+        // Drain every pending buffer up front. A poisoned shard's batch is
+        // quarantined immediately (its backend must not be touched) so the
+        // mass stays accounted.
+        let mut batches: Vec<Option<Arc<BatchData>>> = Vec::with_capacity(shards.len());
+        for (shard, buffer) in self.buffers.iter_mut().enumerate() {
+            if buffer.is_empty() {
+                batches.push(None);
+                continue;
+            }
+            let batch = Arc::new(buffer.drain_to_batch());
+            if poisoned[shard] {
+                counters.quarantined_updates += batch.updates.len() as u64;
+                counters.quarantined_mass += batch.mass;
+                quarantined.push(batch);
+                first_err.get_or_insert(EngineError::ShardPoisoned { shard });
+                batches.push(None);
+            } else {
+                batches.push(Some(batch));
+            }
+        }
+        let faults = &self.faults;
+        let results: Vec<(usize, Result<(), ()>)> = std::thread::scope(|scope| {
+            let mut spawned = Vec::with_capacity(shards.len());
+            for (shard, (backend, batch)) in shards.iter_mut().zip(batches.iter()).enumerate() {
+                let Some(batch) = batch else { continue };
+                let batch = Arc::clone(batch);
+                spawned.push((
+                    shard,
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            apply_batch_injected(backend, &batch, faults, shard);
+                        }))
+                        .map_err(|_| ())
+                    }),
+                ));
+            }
+            spawned
+                .into_iter()
+                .map(|(shard, handle)| (shard, handle.join().unwrap_or(Err(()))))
+                .collect()
+        });
+        for (shard, result) in results {
+            let batch = batches[shard]
+                .take()
+                .expect("threads are spawned only for drained batches");
+            match result {
+                Ok(()) => {
+                    counters.applied_updates += batch.updates.len() as u64;
+                    counters.applied_mass += batch.mass;
+                }
+                Err(()) => {
+                    poisoned[shard] = true;
+                    counters.batch_failures += 1;
+                    counters.quarantined_updates += batch.updates.len() as u64;
+                    counters.quarantined_mass += batch.mass;
+                    quarantined.push(batch);
+                    fault::record(&self.fault_log, FaultEvent::ShardPoisoned { shard });
+                    first_err.get_or_insert(EngineError::ShardPoisoned { shard });
+                }
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Worker-mode flush barrier: waits for every shard to drain and
+    /// checkpoint, supervising while it waits.
+    fn barrier(&mut self) -> Result<(), EngineError> {
+        let requests: Vec<(usize, Arc<ShardChannel<B>>, u64)> = {
+            let ModeState::Workers { handles } = &self.mode else {
+                unreachable!("caller checked the mode")
+            };
+            handles
+                .iter()
+                .enumerate()
+                .map(|(shard, handle)| {
+                    let cell = Arc::clone(&handle.cell);
+                    let epoch = cell.request_sync();
+                    (shard, cell, epoch)
+                })
+                .collect()
+        };
+        for (shard, cell, epoch) in requests {
+            loop {
+                let (done, poisoned) = cell.wait_sync(epoch, SUPERVISE_TICK);
+                if poisoned {
+                    // Reap the dead worker and log the poisoning.
+                    self.supervise();
+                    return Err(EngineError::ShardPoisoned { shard });
+                }
+                if done {
+                    break;
+                }
+                self.supervise();
+            }
+        }
+        Ok(())
     }
 
     /// Itemized memory usage of the *logical* estimator (one backend's
-    /// state). The engine physically replicates counter state
-    /// `shards + 1` times; multiply accordingly for resident memory.
+    /// state). The engine physically replicates counter state per shard;
+    /// see the type-level docs for the multiplier.
     pub fn space_report(&self) -> SpaceReport {
         self.base.space_report()
     }
@@ -388,39 +1154,167 @@ impl<B: SketchBackend> IngestEngine<B> {
         self.base.backend_name()
     }
 
-    /// Flushes, merges every shard into the base and returns the final
-    /// estimator, consuming the engine.
-    pub fn finish(mut self) -> B {
-        self.flush();
-        let mut merged = self.base;
-        for shard in &self.shards {
-            merged.merge(shard);
-        }
-        merged
-    }
-}
-
-impl<B: SketchBackend + Clone> IngestEngine<B> {
     /// Flushes all pending batches and returns the merged estimator view.
     ///
     /// The merge costs `O(shards × state size)` but is cached: repeated
     /// queries without interleaved ingestion reuse the same merged backend.
-    pub fn merged(&mut self) -> &B {
-        self.flush();
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardPoisoned`] if any shard is fenced off — a merged
+    /// view would silently under-count, so none is produced.
+    pub fn merged(&mut self) -> Result<&B, EngineError> {
+        self.flush()?;
         if self.merged.is_none() {
             let mut merged = self.base.clone();
-            for shard in &self.shards {
-                merged.merge(shard);
+            match &self.mode {
+                ModeState::Inline {
+                    shards, poisoned, ..
+                } => {
+                    for (shard, backend) in shards.iter().enumerate() {
+                        if poisoned[shard] {
+                            return Err(EngineError::ShardPoisoned { shard });
+                        }
+                        merged.merge(backend);
+                    }
+                }
+                ModeState::Workers { handles } => {
+                    for (shard, handle) in handles.iter().enumerate() {
+                        let inner = handle.cell.lock_always();
+                        if inner.poisoned {
+                            return Err(EngineError::ShardPoisoned { shard });
+                        }
+                        merged.merge(&inner.snapshot);
+                    }
+                }
             }
             self.merged = Some(merged);
         }
-        self.merged.as_ref().expect("merged view just built")
+        Ok(self.merged.as_ref().expect("merged view just built"))
     }
 
     /// Returns the estimated frequency of `element`, flushing and merging
-    /// first so the answer reflects every accepted arrival.
-    pub fn query(&mut self, element: &StreamElement) -> f64 {
-        self.merged().query(element)
+    /// first so the answer reflects every admitted arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardPoisoned`] if a shard is fenced off: the engine
+    /// reports the corruption instead of answering from wrong counts.
+    pub fn query(&mut self, element: &StreamElement) -> Result<f64, EngineError> {
+        Ok(self.merged()?.query(element))
+    }
+
+    /// Flushes, merges every shard into the base and returns the final
+    /// estimator, consuming the engine (worker threads are joined).
+    ///
+    /// In worker mode this skips the flush barrier entirely: closing a
+    /// channel makes its worker drain the remaining queue and publish its
+    /// scratch state by move (no checkpoint clone), so the join itself is
+    /// the synchronization.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardPoisoned`] if a shard's state is unrecoverable.
+    pub fn finish(mut self) -> Result<B, EngineError> {
+        match &self.mode {
+            ModeState::Inline { .. } => {
+                self.flush()?;
+                let ModeState::Inline {
+                    shards, poisoned, ..
+                } = &self.mode
+                else {
+                    unreachable!("mode cannot change")
+                };
+                for (shard, backend) in shards.iter().enumerate() {
+                    if poisoned[shard] {
+                        return Err(EngineError::ShardPoisoned { shard });
+                    }
+                    self.base.merge(backend);
+                }
+            }
+            ModeState::Workers { .. } => {
+                // Dispatch whatever is still buffered (blocking semantics:
+                // finish never sheds load), then close and join.
+                for shard in 0..self.buffers.len() {
+                    if !self.buffers[shard].is_empty() {
+                        self.dispatch(shard, true)?;
+                    }
+                }
+                let ModeState::Workers { handles } = &mut self.mode else {
+                    unreachable!("mode cannot change")
+                };
+                // Close every channel before joining any thread, so all
+                // workers drain their final batches concurrently instead of
+                // serializing behind shard 0's join.
+                for handle in handles.iter() {
+                    handle.cell.close();
+                }
+                for handle in handles.iter_mut() {
+                    handle.shutdown();
+                }
+                for (shard, handle) in handles.iter().enumerate() {
+                    let mut inner = handle.cell.lock_always();
+                    if inner.poisoned {
+                        return Err(EngineError::ShardPoisoned { shard });
+                    }
+                    // A worker that died (rather than exiting cleanly)
+                    // leaves unpublished work behind. Catch up here: replay
+                    // the journal onto the snapshot, then apply whatever the
+                    // worker never got to — each leftover batch on a trial
+                    // clone, so one that still panics is quarantined without
+                    // corrupting the rebuilt state.
+                    if !inner.journal.is_empty()
+                        || inner.inflight.is_some()
+                        || !inner.queue.is_empty()
+                    {
+                        let mut state = inner.snapshot.clone();
+                        for batch in inner.journal.drain(..) {
+                            apply_batch(&mut state, &batch);
+                        }
+                        let leftovers: Vec<QueuedBatch> = inner
+                            .inflight
+                            .take()
+                            .into_iter()
+                            .chain(inner.queue.drain(..))
+                            .collect();
+                        for batch in leftovers {
+                            let mut trial = state.clone();
+                            let applied = catch_unwind(AssertUnwindSafe(|| {
+                                apply_batch(&mut trial, &batch.data);
+                            }));
+                            match applied {
+                                Ok(()) => {
+                                    state = trial;
+                                    inner.counters.applied_updates +=
+                                        batch.data.updates.len() as u64;
+                                    inner.counters.applied_mass += batch.data.mass;
+                                    inner.counters.queued_mass -= batch.data.mass;
+                                }
+                                Err(_) => {
+                                    inner.counters.batch_failures += 1;
+                                    inner.counters.queued_mass -= batch.data.mass;
+                                    inner.counters.quarantined_updates +=
+                                        batch.data.updates.len() as u64;
+                                    inner.counters.quarantined_mass += batch.data.mass;
+                                    fault::record(
+                                        &self.fault_log,
+                                        FaultEvent::BatchQuarantined {
+                                            shard,
+                                            mass: batch.data.mass,
+                                            updates: batch.data.updates.len(),
+                                        },
+                                    );
+                                    inner.quarantined.push(batch.data);
+                                }
+                            }
+                        }
+                        inner.snapshot = state;
+                    }
+                    self.base.merge(&inner.snapshot);
+                }
+            }
+        }
+        Ok(self.base)
     }
 }
 
@@ -448,21 +1342,56 @@ mod tests {
             state ^= state << 17;
             let id = state % 500;
             sequential.add(ElementId(id), 1);
-            engine.ingest(&element(id));
+            engine.ingest(&element(id)).unwrap();
         }
         for id in 0..600u64 {
             assert_eq!(
-                engine.query(&element(id)),
+                engine.query(&element(id)).unwrap(),
                 CountMinSketch::query(&sequential, ElementId(id)) as f64,
                 "mismatch for {id}"
             );
         }
-        assert_eq!(engine.stats().ingested_elements, 20_000);
-        assert!(engine.stats().flushes > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.ingested_elements(), 20_000);
+        assert_eq!(stats.ingested_mass(), 20_000);
+        assert!(stats.conserved());
+        assert_eq!(stats.unaccounted_mass(), 0);
+        assert!(stats.flushes > 0);
         assert!(
-            engine.stats().aggregation_factor() > 1.0,
+            stats.aggregation_factor() > 1.0,
             "500 distinct ids in batches of 64x4 must aggregate"
         );
+        assert!(engine.fault_log().is_empty(), "healthy run records nothing");
+    }
+
+    #[test]
+    fn inline_mode_matches_worker_mode() {
+        let make = |mode| {
+            IngestEngine::new(
+                CountMinSketch::new(128, 4, 7),
+                EngineConfig::with_shards(3).batch_capacity(32).mode(mode),
+            )
+        };
+        let mut workers = make(IngestMode::Workers);
+        let mut inline = make(IngestMode::Inline);
+        let mut state = 9u64;
+        for _ in 0..5_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = state % 200;
+            workers.ingest(&element(id)).unwrap();
+            inline.ingest(&element(id)).unwrap();
+        }
+        for id in 0..250u64 {
+            assert_eq!(
+                workers.query(&element(id)).unwrap(),
+                inline.query(&element(id)).unwrap(),
+                "mode mismatch for {id}"
+            );
+        }
+        assert_eq!(inline.stats().unaccounted_mass(), 0);
+        assert_eq!(workers.stats().unaccounted_mass(), 0);
     }
 
     #[test]
@@ -472,9 +1401,9 @@ mod tests {
             EngineConfig::with_shards(3).batch_capacity(16),
         );
         for id in 0..100u64 {
-            engine.ingest_weighted(&element(id), 5);
+            engine.ingest_weighted(&element(id), 5).unwrap();
         }
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         for id in 0..100u64 {
             assert!(CountMinSketch::query(&merged, ElementId(id)) >= 5);
         }
@@ -487,13 +1416,16 @@ mod tests {
         let mut weighted = IngestEngine::new(CountMinSketch::new(64, 3, 2), config);
         let mut repeated = IngestEngine::new(CountMinSketch::new(64, 3, 2), config);
         for id in 0..50u64 {
-            weighted.ingest_weighted(&element(id), 3);
+            weighted.ingest_weighted(&element(id), 3).unwrap();
             for _ in 0..3 {
-                repeated.ingest(&element(id));
+                repeated.ingest(&element(id)).unwrap();
             }
         }
         for id in 0..60u64 {
-            assert_eq!(weighted.query(&element(id)), repeated.query(&element(id)));
+            assert_eq!(
+                weighted.query(&element(id)).unwrap(),
+                repeated.query(&element(id)).unwrap()
+            );
         }
     }
 
@@ -503,10 +1435,10 @@ mod tests {
             CountMinSketch::new(64, 3, 3),
             EngineConfig::with_shards(2).batch_capacity(1024),
         );
-        engine.ingest(&element(42));
-        assert_eq!(engine.query(&element(42)), 1.0);
-        engine.ingest(&element(42));
-        assert_eq!(engine.query(&element(42)), 2.0);
+        engine.ingest(&element(42)).unwrap();
+        assert_eq!(engine.query(&element(42)).unwrap(), 1.0);
+        engine.ingest(&element(42)).unwrap();
+        assert_eq!(engine.query(&element(42)).unwrap(), 2.0);
         assert_eq!(engine.stats().flushes, 2, "each query forces a flush");
     }
 
@@ -517,12 +1449,64 @@ mod tests {
             EngineConfig::with_shards(2).batch_capacity(1024),
         );
         for id in 0..10u64 {
-            engine.ingest(&element(id));
-            engine.ingest(&element(id));
+            engine.ingest(&element(id)).unwrap();
+            engine.ingest(&element(id)).unwrap();
         }
         assert_eq!(engine.buffered(), 10);
-        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.buffered_updates, 10);
+        assert_eq!(stats.buffered_mass, 20);
+        engine.flush().unwrap();
         assert_eq!(engine.buffered(), 0);
+        assert_eq!(engine.stats().unaccounted_mass(), 0);
+    }
+
+    #[test]
+    fn zero_weight_updates_are_rejected_and_counted() {
+        let mut engine =
+            IngestEngine::new(CountMinSketch::new(64, 3, 3), EngineConfig::with_shards(2));
+        engine.ingest_weighted(&element(7), 2).unwrap();
+        let err = engine.ingest_weighted(&element(7), 0).unwrap_err();
+        assert_eq!(err, EngineError::ZeroWeight { id: ElementId(7) });
+        let stats = engine.stats();
+        assert_eq!(stats.zero_weight_rejections, 1);
+        // Zero-weight updates carry no mass: the ledgers never saw them.
+        assert_eq!(stats.mass.offered, 2);
+        assert!(stats.conserved());
+        assert_eq!(engine.query(&element(7)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn degrade_policy_grows_the_buffer_without_losing_mass() {
+        // One shard, tiny batches, a depth-1 queue: all-distinct arrivals
+        // fill batches as fast as possible, so some dispatches find the
+        // queue full and degrade into the growing buffer.
+        let backend = CountMinSketch::new(256, 4, 5);
+        let mut sequential = backend.clone();
+        let mut engine = IngestEngine::new(
+            backend,
+            EngineConfig {
+                shards: 1,
+                batch_capacity: 4,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::DegradeAggregate,
+                ..EngineConfig::default()
+            },
+        );
+        for id in 0..2_000u64 {
+            sequential.add(ElementId(id), 1);
+            engine.ingest(&element(id)).unwrap();
+        }
+        let stats = engine.stats();
+        assert!(stats.conserved());
+        assert_eq!(stats.ingested_elements(), 2_000);
+        assert_eq!(stats.unaccounted_mass(), 0);
+        for id in (0..2_000u64).step_by(97) {
+            assert_eq!(
+                engine.query(&element(id)).unwrap(),
+                CountMinSketch::query(&sequential, ElementId(id)) as f64
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! # opthash-engine
 //!
-//! A sharded, batched ingestion engine that lets every frequency estimator
-//! in the workspace — the randomized baselines of `opthash-sketch` *and* the
-//! learned `opt-hash` estimators of the core crate — absorb heavy update
-//! traffic through one interface:
+//! An always-on, sharded, fault-isolated ingestion engine that lets every
+//! frequency estimator in the workspace — the randomized baselines of
+//! `opthash-sketch` *and* the learned `opt-hash` estimators of the core
+//! crate — absorb heavy update traffic through one interface:
 //!
 //! * [`SketchBackend`] — weighted update / point query / fork / merge /
 //!   space accounting, implemented by [`opthash_sketch::CountMinSketch`],
@@ -13,13 +13,40 @@
 //! * [`IngestEngine`] — hash-partitions arrivals by element ID across `N`
 //!   shards, pre-aggregates each shard's batch (duplicates collapse into one
 //!   weighted update — on the Zipfian streams the paper studies most
-//!   arrivals are duplicates), applies full batches on scoped worker
-//!   threads, and merges shard forks on query.
+//!   arrivals are duplicates), and streams full batches through bounded
+//!   queues to persistent per-shard worker threads, so application overlaps
+//!   ingestion. Queries sync every shard to a consistent checkpoint and
+//!   merge the shard deltas.
 //!
 //! Sharding by ID makes the engine *exact* for the linear backends and for
 //! the adaptive estimator: queries of a sharded engine equal those of the
 //! same backend fed sequentially (see the [`SketchBackend`] docs for the
 //! precise contract).
+//!
+//! ## Robustness model
+//!
+//! The engine treats overload and partial failure as ordinary inputs, not
+//! panics, and upholds one invariant throughout: **no admitted arrival is
+//! ever silently lost, and no offered arrival is ever unaccounted.**
+//!
+//! * **Backpressure** — when a shard's bounded queue is full, the
+//!   configured [`BackpressurePolicy`] decides: block (lossless), reject
+//!   with [`EngineError::Overloaded`] (every rejection is counted), or
+//!   degrade into deeper pre-aggregation (mass preserved in the buffer).
+//!   [`EngineStats::conserved`] checks the resulting ledger identity.
+//! * **Panic isolation** — a panic inside batch application is confined to
+//!   the shard worker's scratch state; the batch is retried and, after
+//!   `max_batch_attempts`, quarantined as a poison pill
+//!   ([`IngestEngine::quarantined`] exposes its updates).
+//! * **Supervision** — a worker death is detected by the engine, which
+//!   re-forks the shard from its last checkpoint, replays the recovery
+//!   journal and surviving queue, and records a
+//!   [`FaultEvent::WorkerRestarted`] in the [`FaultLog`].
+//! * **Fault injection** — with the `failpoints` cargo feature, named
+//!   failpoints along the ingest/apply/checkpoint paths can be programmed
+//!   per engine ([`IngestEngine::fault_injector`]) to panic, delay, or
+//!   error deterministically; see [`fault`] for the failpoint table. The
+//!   feature costs nothing when disabled.
 //!
 //! ```
 //! use opthash_engine::{EngineConfig, IngestEngine};
@@ -29,12 +56,13 @@
 //! let sketch = CountMinSketch::new(1024, 4, 7);
 //! let mut engine = IngestEngine::new(sketch, EngineConfig::with_shards(4));
 //! for id in 0..10_000u64 {
-//!     engine.ingest(&StreamElement::without_features(id % 100));
+//!     engine.ingest(&StreamElement::without_features(id % 100))?;
 //! }
-//! let hot = engine.query(&StreamElement::without_features(5u64));
+//! let hot = engine.query(&StreamElement::without_features(5u64))?;
 //! assert_eq!(hot, 100.0);
 //! // The engine aggregated the 100 duplicate arrivals of each ID.
 //! assert!(engine.stats().aggregation_factor() > 1.0);
+//! # Ok::<(), opthash_engine::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +70,14 @@
 
 pub mod backend;
 pub mod engine;
+pub mod error;
+pub mod fault;
+mod queue;
+mod worker;
 
 pub use backend::SketchBackend;
-pub use engine::{EngineConfig, EngineStats, IngestEngine};
+pub use engine::{BackpressurePolicy, EngineConfig, EngineStats, IngestEngine, IngestMode};
+pub use error::EngineError;
+#[cfg(feature = "failpoints")]
+pub use fault::{FaultAction, FaultPlan};
+pub use fault::{FaultEvent, FaultInjector, FaultLog};

@@ -1,0 +1,368 @@
+//! Bounded per-shard work channels.
+//!
+//! Each shard of a worker-mode [`crate::IngestEngine`] owns one
+//! [`ShardChannel`]: a bounded FIFO of pre-aggregated batches plus the
+//! shard's recovery state, all guarded by a single mutex so every state
+//! transition the fault-tolerance protocol relies on is atomic:
+//!
+//! * `queue` — batches dispatched by the engine, not yet started;
+//! * `inflight` — the batch the worker is currently applying (popping a
+//!   batch and marking it inflight is one critical section, so a batch can
+//!   never fall between the queue and the worker when a panic strikes);
+//! * `journal` — batches applied since the last checkpoint. The worker's
+//!   private scratch state is `snapshot ⊕ journal`; a replacement worker
+//!   rebuilds it by cloning `snapshot` and replaying `journal` in order;
+//! * `snapshot` — the shard's last *consistent* accumulated delta, replaced
+//!   wholesale at each checkpoint (never mutated incrementally, so a panic
+//!   outside the swap can never leave it half-written);
+//! * `quarantined` — poison-pill batches set aside after exhausting their
+//!   application attempts, retained so their mass stays accounted.
+//!
+//! The engine (single producer) pushes and waits on `progress`; the worker
+//! (single consumer) pops and waits on `work`. Mutex poisoning is handled
+//! everywhere via [`ShardChannel::lock_always`]: a poisoned lock marks the
+//! shard poisoned rather than cascading panics.
+
+use crate::backend::SketchBackend;
+use opthash_stream::StreamElement;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// A drained batch: the pre-aggregated `(element, count)` updates of one
+/// shard buffer. Immutable once built; shared by `Arc` between the queue,
+/// the inflight slot, and the journal, so requeue/replay never copies the
+/// update data.
+#[derive(Debug)]
+pub(crate) struct BatchData {
+    /// Pre-aggregated weighted updates, in first-seen order.
+    pub updates: Vec<(StreamElement, u64)>,
+    /// Total count mass of the batch (sum of the update weights).
+    pub mass: u64,
+}
+
+/// A batch in the queue or inflight slot, with its application-attempt
+/// count (for poison-pill quarantine).
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedBatch {
+    pub data: Arc<BatchData>,
+    /// Completed application attempts (0 for a never-tried batch).
+    pub attempts: u32,
+}
+
+/// Per-shard robustness counters, maintained under the channel lock.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardCounters {
+    pub applied_updates: u64,
+    pub applied_mass: u64,
+    /// Mass sitting in the queue or inflight slot (dispatched, not yet
+    /// applied or quarantined).
+    pub queued_mass: u64,
+    pub quarantined_updates: u64,
+    pub quarantined_mass: u64,
+    pub batch_failures: u64,
+    pub worker_restarts: u64,
+}
+
+impl ShardCounters {
+    /// Accumulates another shard's counters (for engine-wide stats).
+    pub fn absorb(&mut self, other: &ShardCounters) {
+        self.applied_updates += other.applied_updates;
+        self.applied_mass += other.applied_mass;
+        self.queued_mass += other.queued_mass;
+        self.quarantined_updates += other.quarantined_updates;
+        self.quarantined_mass += other.quarantined_mass;
+        self.batch_failures += other.batch_failures;
+        self.worker_restarts += other.worker_restarts;
+    }
+}
+
+/// Everything guarded by the shard mutex.
+#[derive(Debug)]
+pub(crate) struct ChannelInner<B> {
+    pub queue: VecDeque<QueuedBatch>,
+    pub inflight: Option<QueuedBatch>,
+    pub journal: Vec<Arc<BatchData>>,
+    pub snapshot: B,
+    pub quarantined: Vec<Arc<BatchData>>,
+    pub counters: ShardCounters,
+    /// Latest sync barrier requested by the engine.
+    pub sync_epoch: u64,
+    /// Latest sync barrier the worker has checkpointed for.
+    pub acked_epoch: u64,
+    pub closed: bool,
+    pub poisoned: bool,
+}
+
+/// What the worker should do next (see [`ShardChannel::next_event`]).
+pub(crate) enum WorkerEvent {
+    /// Apply this batch (already marked inflight).
+    Batch(QueuedBatch),
+    /// Queue is drained and a sync barrier is pending: checkpoint and ack
+    /// the given epoch.
+    Sync(u64),
+    /// The channel is closed: exit.
+    Shutdown,
+}
+
+/// Outcome of failing the inflight batch (panic or worker death).
+pub(crate) enum FailDisposition {
+    /// Requeued at the front for another attempt.
+    Requeued { attempt: u32, mass: u64 },
+    /// Attempts exhausted: set aside in the quarantine.
+    Quarantined { mass: u64, updates: usize },
+    /// There was no inflight batch (death outside batch application).
+    Idle,
+}
+
+#[derive(Debug)]
+pub(crate) struct ShardChannel<B> {
+    inner: Mutex<ChannelInner<B>>,
+    /// Worker waits here for work / sync / close.
+    work: Condvar,
+    /// Engine waits here for queue space, checkpoint acks, and commits.
+    progress: Condvar,
+    capacity: usize,
+}
+
+impl<B: SketchBackend> ShardChannel<B> {
+    pub fn new(snapshot: B, capacity: usize) -> Self {
+        ShardChannel {
+            inner: Mutex::new(ChannelInner {
+                queue: VecDeque::new(),
+                inflight: None,
+                journal: Vec::new(),
+                snapshot,
+                quarantined: Vec::new(),
+                counters: ShardCounters::default(),
+                sync_epoch: 0,
+                acked_epoch: 0,
+                closed: false,
+                poisoned: false,
+            }),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Locks the channel, recovering from mutex poisoning: a lock poisoned
+    /// by a worker panic marks the shard poisoned (its snapshot may be
+    /// half-written) instead of propagating the panic.
+    pub fn lock_always(&self) -> MutexGuard<'_, ChannelInner<B>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.poisoned = true;
+                guard
+            }
+        }
+    }
+
+    // -- engine (producer) side --------------------------------------------
+
+    /// `true` if the queue has no room for another batch.
+    pub fn is_full(&self) -> bool {
+        self.lock_always().queue.len() >= self.capacity
+    }
+
+    /// Enqueues a batch if there is room. The engine is the only producer,
+    /// so `!is_full()` followed by `try_push` cannot race another push.
+    pub fn try_push(&self, data: Arc<BatchData>) -> bool {
+        let mut inner = self.lock_always();
+        if inner.queue.len() >= self.capacity {
+            return false;
+        }
+        inner.counters.queued_mass += data.mass;
+        inner.queue.push_back(QueuedBatch { data, attempts: 0 });
+        drop(inner);
+        self.work.notify_one();
+        true
+    }
+
+    /// Waits until the queue has room for another batch (or the shard is
+    /// poisoned), up to `timeout`. Returns `(has_space, poisoned)`.
+    ///
+    /// The condition is re-checked under the same lock the wait sleeps on,
+    /// so a worker's notification can never slip between the check and the
+    /// sleep (no lost wake-up). The timeout exists purely so the engine can
+    /// run its supervisor between waits — a dead worker never notifies.
+    pub fn wait_space(&self, timeout: Duration) -> (bool, bool) {
+        let mut inner = self.lock_always();
+        if inner.queue.len() < self.capacity || inner.poisoned {
+            return (inner.queue.len() < self.capacity, inner.poisoned);
+        }
+        inner = self
+            .progress
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+        (inner.queue.len() < self.capacity, inner.poisoned)
+    }
+
+    /// Waits until the sync barrier for `epoch` completes (or the shard is
+    /// poisoned), up to `timeout`. Returns `(done, poisoned)`; see
+    /// [`ShardChannel::wait_space`] for the no-lost-wake-up guarantee.
+    pub fn wait_sync(&self, epoch: u64, timeout: Duration) -> (bool, bool) {
+        let mut inner = self.lock_always();
+        if inner.acked_epoch >= epoch || inner.poisoned {
+            return (inner.acked_epoch >= epoch, inner.poisoned);
+        }
+        inner = self
+            .progress
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+        (inner.acked_epoch >= epoch, inner.poisoned)
+    }
+
+    /// Requests a sync barrier: once the worker drains its queue it will
+    /// checkpoint and ack the returned epoch.
+    pub fn request_sync(&self) -> u64 {
+        let mut inner = self.lock_always();
+        inner.sync_epoch += 1;
+        let epoch = inner.sync_epoch;
+        drop(inner);
+        self.work.notify_one();
+        epoch
+    }
+
+    /// Whether the barrier for `epoch` has completed, and whether the shard
+    /// is poisoned.
+    pub fn sync_state(&self, epoch: u64) -> (bool, bool) {
+        let inner = self.lock_always();
+        (inner.acked_epoch >= epoch, inner.poisoned)
+    }
+
+    /// Closes the channel: the worker drains the remaining queue, publishes
+    /// its scratch state via [`ShardChannel::publish_exit`], and exits.
+    pub fn close(&self) {
+        let mut inner = self.lock_always();
+        inner.closed = true;
+        drop(inner);
+        self.work.notify_all();
+        self.progress.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.lock_always().closed
+    }
+
+    // -- worker (consumer) side --------------------------------------------
+
+    /// Blocks for the next worker event. Popping a batch and marking it
+    /// inflight is atomic, and a sync barrier is only surfaced once the
+    /// queue is empty, so a completed barrier proves the snapshot covers
+    /// every batch dispatched before it.
+    pub fn next_event(&self) -> WorkerEvent {
+        let mut inner = self.lock_always();
+        loop {
+            // Queued batches outrank shutdown: a closed channel is drained
+            // before the worker exits, so `close` never strands admitted
+            // mass (the exit publish then covers every applied batch).
+            if let Some(batch) = inner.queue.pop_front() {
+                inner.inflight = Some(batch.clone());
+                drop(inner);
+                self.progress.notify_all();
+                return WorkerEvent::Batch(batch);
+            }
+            if inner.closed {
+                return WorkerEvent::Shutdown;
+            }
+            if inner.sync_epoch > inner.acked_epoch {
+                return WorkerEvent::Sync(inner.sync_epoch);
+            }
+            inner = self
+                .work
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Records a successfully applied batch: journals it for recovery,
+    /// clears the inflight slot, and credits the applied counters — one
+    /// critical section, so recovery sees the batch either inflight (will
+    /// replay) or journaled (already applied), never both or neither.
+    pub fn commit(&self, batch: QueuedBatch) {
+        let mut inner = self.lock_always();
+        inner.counters.applied_updates += batch.data.updates.len() as u64;
+        inner.counters.applied_mass += batch.data.mass;
+        inner.counters.queued_mass -= batch.data.mass;
+        inner.journal.push(batch.data);
+        inner.inflight = None;
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// Fails the inflight batch (after a caught panic or a worker death):
+    /// requeues it at the front for another attempt, or quarantines it once
+    /// `max_attempts` attempts are exhausted.
+    pub fn fail_inflight(&self, max_attempts: u32) -> FailDisposition {
+        let mut inner = self.lock_always();
+        let Some(batch) = inner.inflight.take() else {
+            return FailDisposition::Idle;
+        };
+        inner.counters.batch_failures += 1;
+        let attempt = batch.attempts + 1;
+        let mass = batch.data.mass;
+        if attempt >= max_attempts {
+            let updates = batch.data.updates.len();
+            inner.counters.queued_mass -= mass;
+            inner.counters.quarantined_updates += updates as u64;
+            inner.counters.quarantined_mass += mass;
+            inner.quarantined.push(batch.data);
+            drop(inner);
+            self.progress.notify_all();
+            FailDisposition::Quarantined { mass, updates }
+        } else {
+            inner.queue.push_front(QueuedBatch {
+                data: batch.data,
+                attempts: attempt,
+            });
+            drop(inner);
+            self.work.notify_one();
+            FailDisposition::Requeued { attempt, mass }
+        }
+    }
+
+    /// Replaces the shard snapshot with a freshly cloned consistent state
+    /// and clears the journal it covers; acks `epoch` if this checkpoint
+    /// completes a sync barrier. `at_checkpoint` runs inside the critical
+    /// section (it hosts the `worker::checkpoint` failpoint — a panic there
+    /// poisons the shard, which is exactly the scenario the failpoint
+    /// exists to exercise).
+    pub fn checkpoint(&self, snapshot: B, epoch: Option<u64>, at_checkpoint: impl FnOnce()) {
+        let mut inner = self.lock_always();
+        at_checkpoint();
+        inner.snapshot = snapshot;
+        inner.journal.clear();
+        if let Some(epoch) = epoch {
+            inner.acked_epoch = epoch;
+        }
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// Publishes the worker's final scratch state on clean shutdown: a
+    /// checkpoint by *move* (no clone — the worker is done with it), which
+    /// also acks any pending sync barrier.
+    pub fn publish_exit(&self, state: B) {
+        let mut inner = self.lock_always();
+        inner.snapshot = state;
+        inner.journal.clear();
+        inner.acked_epoch = inner.sync_epoch;
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// The shard's recovery state: its last consistent snapshot plus the
+    /// journal of batches applied since. `None` if the shard is poisoned.
+    pub fn recovery_state(&self) -> Option<(B, Vec<Arc<BatchData>>)> {
+        let inner = self.lock_always();
+        if inner.poisoned {
+            return None;
+        }
+        Some((inner.snapshot.clone(), inner.journal.clone()))
+    }
+}

@@ -124,6 +124,48 @@ impl CountMinSketch {
         }
     }
 
+    /// Adds a pre-aggregated batch of weighted updates, level by level.
+    ///
+    /// For the standard policy the final state is identical to calling
+    /// [`CountMinSketch::add`] per entry (each cell receives the same sum),
+    /// but the row-major order keeps one `width`-counter row cache-resident
+    /// across the whole batch instead of striding all `depth` rows per
+    /// update, and hoists the level's hash coefficients out of the inner
+    /// loop. The conservative policy is order-dependent across rows (each
+    /// update needs the cross-row minimum first), so it falls back to the
+    /// sequential per-update loop.
+    ///
+    /// The iterator must be `Clone` because it is replayed once per level.
+    /// Zero-count entries are skipped, matching [`CountMinSketch::add`].
+    pub fn add_batch<I>(&mut self, updates: I)
+    where
+        I: Iterator<Item = (ElementId, u64)> + Clone,
+    {
+        match self.policy {
+            UpdatePolicy::Standard => {
+                let mut mass = 0u64;
+                for level in 0..self.depth {
+                    let hash = self.hashes.function(level).clone();
+                    let row = &mut self.counters[level * self.width..(level + 1) * self.width];
+                    mass = 0;
+                    for (id, count) in updates.clone() {
+                        if count == 0 {
+                            continue;
+                        }
+                        row[hash.hash(id.raw())] += count;
+                        mass += count;
+                    }
+                }
+                self.total_updates += mass;
+            }
+            UpdatePolicy::Conservative => {
+                for (id, count) in updates {
+                    self.add(id, count);
+                }
+            }
+        }
+    }
+
     /// Point query: minimum counter over all levels.
     pub fn query(&self, id: ElementId) -> u64 {
         (0..self.depth)

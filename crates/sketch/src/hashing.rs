@@ -129,6 +129,13 @@ impl HashFamily {
         self.functions[level].hash(key)
     }
 
+    /// The `level`-th function itself — lets bulk operations hoist the
+    /// coefficient loads out of their inner loop.
+    #[inline]
+    pub fn function(&self, level: usize) -> &PairwiseHash {
+        &self.functions[level]
+    }
+
     /// Iterates over the per-level bucket indices for `key`.
     pub fn indices<'a>(&'a self, key: u64) -> impl Iterator<Item = usize> + 'a {
         self.functions.iter().map(move |h| h.hash(key))

@@ -1,11 +1,13 @@
-//! Demonstrates the sharded batched ingest engine: a 1M-arrival Zipf stream
-//! pushed through a Count-Min backend and through a trained `opt-hash`
-//! estimator, comparing wall-clock ingest time against the plain
-//! single-threaded update loop and verifying that the merged results agree.
+//! Engine performance harness: pushes a 1M-arrival Zipf stream through a
+//! Count-Min backend three ways — the plain single-threaded update loop,
+//! the flush-time (`IngestMode::Inline`) engine, and the always-on worker
+//! (`IngestMode::Workers`) engine — verifies the three agree exactly, and
+//! records the measurements in `BENCH_engine.json` (ingest throughput,
+//! p50/p99 query latency, aggregation factor) so the repository keeps a
+//! perf trajectory across PRs.
 //!
 //! Run with: `cargo run --release --example engine_throughput`
 
-use opthash_repro::opthash::{OptHashBuilder, SolverKind};
 use opthash_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +16,13 @@ use std::time::Instant;
 const UNIVERSE: usize = 100_000;
 const ARRIVALS: usize = 1_000_000;
 const EXPONENT: f64 = 1.3;
+const SHARDS: usize = 4;
+const BATCH: usize = 16_384;
+const QUERY_PROBES: usize = 20_000;
+/// Ingest passes per configuration; the best is reported, so one-off
+/// machine noise (compiles, page faults on first touch) doesn't end up in
+/// the trajectory file.
+const TRIALS: usize = 3;
 
 fn zipf_elements(n: usize, seed: u64) -> Vec<StreamElement> {
     let sampler = opthash_repro::datagen::ZipfSampler::new(UNIVERSE, EXPONENT);
@@ -23,78 +32,185 @@ fn zipf_elements(n: usize, seed: u64) -> Vec<StreamElement> {
         .collect()
 }
 
+/// One measured configuration, ready for JSON serialization.
+struct Measurement {
+    name: &'static str,
+    ingest_melem_per_s: f64,
+    speedup_vs_single_thread: f64,
+    query_p50_ns: u64,
+    query_p99_ns: u64,
+    aggregation_factor: f64,
+}
+
+/// p50/p99 of per-call latencies for `queries` point queries against `f`.
+fn query_percentiles(
+    probes: &[StreamElement],
+    mut f: impl FnMut(&StreamElement) -> f64,
+) -> (u64, u64) {
+    let mut latencies: Vec<u64> = probes
+        .iter()
+        .map(|probe| {
+            let start = Instant::now();
+            std::hint::black_box(f(probe));
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    latencies.sort_unstable();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    (pick(0.50), pick(0.99))
+}
+
+fn engine_measurement(
+    name: &'static str,
+    mode: IngestMode,
+    elements: &[StreamElement],
+    probes: &[StreamElement],
+    sequential: &CountMinSketch,
+    baseline_secs: f64,
+) -> Measurement {
+    let mut ingest_secs = f64::INFINITY;
+    let mut engine = None;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        let mut trial = IngestEngine::new(
+            CountMinSketch::new(8_192, 4, 1),
+            EngineConfig::with_shards(SHARDS)
+                .batch_capacity(BATCH)
+                .mode(mode),
+        );
+        trial.ingest_batch(elements).expect("ingest");
+        trial.flush().expect("flush");
+        ingest_secs = ingest_secs.min(start.elapsed().as_secs_f64());
+        engine = Some(trial);
+    }
+    let mut engine = engine.expect("at least one trial ran");
+    let stats = engine.stats();
+    assert!(stats.conserved(), "{name}: intake ledger must balance");
+    assert_eq!(stats.unaccounted_mass(), 0, "{name}: mass unaccounted");
+
+    // Exactness check against the sequential baseline before timing queries
+    // (the first query pays the merge; percentiles measure the steady state).
+    for id in 0..1_000u64 {
+        assert_eq!(
+            engine
+                .query(&StreamElement::without_features(id))
+                .expect("query"),
+            SketchBackend::query(sequential, &StreamElement::without_features(id)),
+            "{name}: sharded result diverged for element {id}"
+        );
+    }
+    let (p50, p99) = query_percentiles(probes, |probe| engine.query(probe).expect("query"));
+    Measurement {
+        name,
+        ingest_melem_per_s: ARRIVALS as f64 / ingest_secs / 1e6,
+        speedup_vs_single_thread: baseline_secs / ingest_secs,
+        query_p50_ns: p50,
+        query_p99_ns: p99,
+        aggregation_factor: stats.aggregation_factor(),
+    }
+}
+
+fn write_json(measurements: &[Measurement]) -> String {
+    // Hand-formatted JSON: the workspace deliberately vendors no JSON
+    // serializer, and the schema is flat enough that formatting beats a
+    // dependency.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"engine_throughput\",\n");
+    out.push_str(&format!("  \"arrivals\": {ARRIVALS},\n"));
+    out.push_str(&format!("  \"universe\": {UNIVERSE},\n"));
+    out.push_str(&format!("  \"zipf_exponent\": {EXPONENT},\n"));
+    out.push_str("  \"backend\": \"count-min 8192x4\",\n");
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"batch_capacity\": {BATCH},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!(
+            "      \"ingest_melem_per_s\": {:.3},\n",
+            m.ingest_melem_per_s
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_single_thread\": {:.3},\n",
+            m.speedup_vs_single_thread
+        ));
+        out.push_str(&format!("      \"query_p50_ns\": {},\n", m.query_p50_ns));
+        out.push_str(&format!("      \"query_p99_ns\": {},\n", m.query_p99_ns));
+        out.push_str(&format!(
+            "      \"aggregation_factor\": {:.3}\n",
+            m.aggregation_factor
+        ));
+        out.push_str(if i + 1 == measurements.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     println!("generating {ARRIVALS} Zipf({EXPONENT}) arrivals over {UNIVERSE} elements...");
     let elements = zipf_elements(ARRIVALS, 7);
+    let probes = zipf_elements(QUERY_PROBES, 8);
 
-    // --- Count-Min behind the engine at 1/2/4/8 shards ------------------
-    let make_sketch = || CountMinSketch::new(8_192, 4, 1);
-
-    let start = Instant::now();
-    let mut sequential = make_sketch();
-    for element in &elements {
-        sequential.update(element);
-    }
-    let baseline = start.elapsed();
-    println!(
-        "\nsingle-threaded update loop: {:>8.1} ms  ({:.1} Melem/s)",
-        baseline.as_secs_f64() * 1e3,
-        ARRIVALS as f64 / baseline.as_secs_f64() / 1e6
-    );
-
-    for shards in [1usize, 2, 4, 8] {
+    // --- single-threaded update loop (the pre-engine baseline) -----------
+    let mut baseline_secs = f64::INFINITY;
+    let mut sequential = CountMinSketch::new(8_192, 4, 1);
+    for _ in 0..TRIALS {
         let start = Instant::now();
-        let mut engine = IngestEngine::new(
-            make_sketch(),
-            EngineConfig::with_shards(shards).batch_capacity(16_384),
-        );
-        engine.ingest_batch(&elements);
-        engine.flush();
-        let stats = *engine.stats();
-        let merged = engine.finish();
-        let elapsed = start.elapsed();
-        println!(
-            "engine {shards} shard(s):         {:>8.1} ms  ({:.1} Melem/s, {:.2}x, \
-             {:.1} arrivals folded per applied update)",
-            elapsed.as_secs_f64() * 1e3,
-            ARRIVALS as f64 / elapsed.as_secs_f64() / 1e6,
-            baseline.as_secs_f64() / elapsed.as_secs_f64(),
-            stats.aggregation_factor()
-        );
-        // Sharded + batched + merged processing is exact for the linear
-        // Count-Min backend: spot-check the whole universe head.
-        for id in 0..1_000u64 {
-            assert_eq!(
-                merged.query(ElementId(id)),
-                sequential.query(ElementId(id)),
-                "sharded result diverged for element {id}"
-            );
+        let mut trial = CountMinSketch::new(8_192, 4, 1);
+        for element in &elements {
+            trial.update(element);
         }
+        baseline_secs = baseline_secs.min(start.elapsed().as_secs_f64());
+        sequential = trial;
+    }
+    let (base_p50, base_p99) =
+        query_percentiles(&probes, |probe| SketchBackend::query(&sequential, probe));
+    let mut measurements = vec![Measurement {
+        name: "single_thread",
+        ingest_melem_per_s: ARRIVALS as f64 / baseline_secs / 1e6,
+        speedup_vs_single_thread: 1.0,
+        query_p50_ns: base_p50,
+        query_p99_ns: base_p99,
+        aggregation_factor: 1.0,
+    }];
+
+    // --- the flush-time engine vs the always-on worker engine -------------
+    measurements.push(engine_measurement(
+        "inline_flush_engine",
+        IngestMode::Inline,
+        &elements,
+        &probes,
+        &sequential,
+        baseline_secs,
+    ));
+    measurements.push(engine_measurement(
+        "worker_engine",
+        IngestMode::Workers,
+        &elements,
+        &probes,
+        &sequential,
+        baseline_secs,
+    ));
+
+    for m in &measurements {
+        println!(
+            "{:24} {:7.2} Melem/s ingest ({:4.2}x)   query p50 {:5} ns  p99 {:5} ns   \
+             aggregation {:4.1}x",
+            m.name,
+            m.ingest_melem_per_s,
+            m.speedup_vs_single_thread,
+            m.query_p50_ns,
+            m.query_p99_ns,
+            m.aggregation_factor
+        );
     }
 
-    // --- A learned backend behind the same engine ------------------------
-    // Train opt-hash on a prefix, then let the engine absorb the rest of
-    // the stream. The engine works for any SketchBackend, learned or not.
-    let featured: Vec<StreamElement> = elements
-        .iter()
-        .map(|e| StreamElement::new(e.id, vec![(e.id.raw() as f64).ln_1p()]))
-        .collect();
-    let prefix = StreamPrefix::from_stream(featured[..50_000].iter().cloned().collect());
-    let trained = OptHashBuilder::new(64)
-        .lambda(1.0)
-        .solver(SolverKind::Dp)
-        .max_stored_elements(2_000)
-        .train(&prefix);
-
-    let start = Instant::now();
-    let mut engine = IngestEngine::new(trained, EngineConfig::with_shards(4));
-    engine.ingest_batch(&featured[50_000..]);
-    let hot = engine.query(&featured[0]);
-    let elapsed = start.elapsed();
-    println!(
-        "\nopt-hash behind the engine: ingested {} post-prefix arrivals in {:.1} ms",
-        ARRIVALS - 50_000,
-        elapsed.as_secs_f64() * 1e3
-    );
-    println!("hottest element estimate {hot:.0} (bucket average over the learned hash table)");
+    let json = write_json(&measurements);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
 }

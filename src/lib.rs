@@ -12,9 +12,10 @@
 //! let sketch = CountMinSketch::new(256, 4, 1);
 //! let mut engine = IngestEngine::new(sketch, EngineConfig::with_shards(2));
 //! for id in 0..1_000u64 {
-//!     engine.ingest(&StreamElement::without_features(id % 10));
+//!     engine.ingest(&StreamElement::without_features(id % 10))?;
 //! }
-//! assert_eq!(engine.query(&StreamElement::without_features(3u64)), 100.0);
+//! assert_eq!(engine.query(&StreamElement::without_features(3u64))?, 100.0);
+//! # Ok::<(), EngineError>(())
 //! ```
 
 pub use opthash;
@@ -34,7 +35,12 @@ pub mod prelude {
     };
     pub use opthash_datagen::groups::{GroupConfig, GroupDataset};
     pub use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
-    pub use opthash_engine::{EngineConfig, EngineStats, IngestEngine, SketchBackend};
+    pub use opthash_engine::{
+        BackpressurePolicy, EngineConfig, EngineError, EngineStats, FaultEvent, FaultInjector,
+        FaultLog, IngestEngine, IngestMode, SketchBackend,
+    };
+    #[cfg(feature = "failpoints")]
+    pub use opthash_engine::{FaultAction, FaultPlan};
     pub use opthash_ml::ClassifierKind;
     pub use opthash_sketch::{
         BloomFilter, CountMinSketch, CountSketch, LearnedCountMin, MisraGries,

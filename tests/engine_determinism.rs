@@ -33,31 +33,43 @@ fn probes(universe: usize) -> impl Iterator<Item = StreamElement> {
 
 fn assert_engine_matches_sequential<B>(backend: B, stream: &Stream, universe: usize, label: &str)
 where
-    B: SketchBackend + Clone,
+    B: SketchBackend + 'static,
 {
     let mut sequential = backend.clone();
     for arrival in stream.iter() {
         sequential.ingest(arrival, 1);
     }
-    for shards in [1usize, 2, 4, 8] {
-        let mut engine = IngestEngine::new(
-            backend.clone(),
-            EngineConfig::with_shards(shards).batch_capacity(512),
-        );
-        engine.ingest_stream(stream);
-        for probe in probes(universe) {
-            let sharded = engine.query(&probe);
-            let expected = sequential.query(&probe);
+    for mode in [IngestMode::Workers, IngestMode::Inline] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut engine = IngestEngine::new(
+                backend.clone(),
+                EngineConfig::with_shards(shards)
+                    .batch_capacity(512)
+                    .mode(mode),
+            );
+            engine.ingest_stream(stream).unwrap();
+            for probe in probes(universe) {
+                let sharded = engine.query(&probe).unwrap();
+                let expected = sequential.query(&probe);
+                assert!(
+                    (sharded - expected).abs() < 1e-12,
+                    "{label} diverged at {shards} shards ({mode:?}) for {}: \
+                     sharded {sharded} vs sequential {expected}",
+                    probe.id
+                );
+            }
+            let stats = engine.stats();
             assert!(
-                (sharded - expected).abs() < 1e-12,
-                "{label} diverged at {shards} shards for {}: sharded {sharded} vs sequential {expected}",
-                probe.id
+                stats.aggregation_factor() >= 1.0,
+                "{label}: aggregation factor must never drop below 1"
+            );
+            assert!(stats.conserved(), "{label}: intake ledger must balance");
+            assert_eq!(
+                stats.unaccounted_mass(),
+                0,
+                "{label}: every admitted unit of mass must be locatable"
             );
         }
-        assert!(
-            engine.stats().aggregation_factor() >= 1.0,
-            "{label}: aggregation factor must never drop below 1"
-        );
     }
 }
 
@@ -126,8 +138,8 @@ fn engine_preserves_count_min_guarantees_end_to_end() {
         CountMinSketch::new(512, 4, 3),
         EngineConfig::with_shards(4).batch_capacity(1_024),
     );
-    engine.ingest_stream(&stream);
-    let merged = engine.finish();
+    engine.ingest_stream(&stream).unwrap();
+    let merged = engine.finish().unwrap();
     assert_eq!(merged.total_updates(), 80_000);
     for (id, f) in truth.iter() {
         assert!(

@@ -1,0 +1,409 @@
+//! Fault-injection and overload suites for the worker engine, driven by the
+//! deterministic failpoint harness (`--features failpoints`).
+//!
+//! Acceptance contract exercised here:
+//!
+//! * killing any single shard worker mid-stream yields **bit-identical**
+//!   queries vs the sequential reference for linear backends, with zero
+//!   unaccounted mass and the supervisor restart visible in the
+//!   [`FaultLog`];
+//! * a poison-pill batch is quarantined after `max_batch_attempts`
+//!   attempts, its mass stays accounted, and re-applying the quarantined
+//!   updates reproduces the sequential reference exactly;
+//! * a panic inside the checkpoint critical section fences the shard off
+//!   with the typed [`EngineError::ShardPoisoned`] instead of wrong counts;
+//! * under deterministic overload (delayed batch application), Block loses
+//!   nothing, Reject accounts every rejection, and DegradeAggregate
+//!   preserves total mass.
+
+#![cfg(feature = "failpoints")]
+
+use opthash_repro::prelude::*;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Silences the panic messages of *injected* panics (they are expected and
+/// would otherwise flood the test output), while leaving every other panic
+/// loudly visible.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("failpoint"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("failpoint"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn element(id: u64) -> StreamElement {
+    StreamElement::without_features(id)
+}
+
+/// Deterministic pseudo-Zipf arrival sequence (xorshift over a skewed map).
+fn arrivals(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Heavy head: rank k drawn with weight ~1/(k+1).
+            (universe / (state % universe + 1)).min(universe - 1)
+        })
+        .collect()
+}
+
+/// Like [`arrivals`], but with a genuine uniform tail: half the draws are
+/// heavy-head ranks, half are uniform over the universe. The head exercises
+/// pre-aggregation; the tail keeps each shard's batch buffer filling (and
+/// dispatching) *throughout* the stream, which the worker-death tests need —
+/// a fully head-dominated stream collapses into so few distinct ids that
+/// every shard sees a single batch at flush and per-batch failpoints never
+/// reach their trigger hit.
+fn mixed_arrivals(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 0 {
+                (universe / (state % universe + 1)).min(universe - 1)
+            } else {
+                (state >> 1) % universe
+            }
+        })
+        .collect()
+}
+
+fn sequential_reference(ids: &[u64]) -> CountMinSketch {
+    let mut cms = CountMinSketch::new(512, 4, 9);
+    for &id in ids {
+        SketchBackend::ingest(&mut cms, &element(id), 1);
+    }
+    cms
+}
+
+fn assert_bit_identical(
+    engine: &mut IngestEngine<CountMinSketch>,
+    reference: &CountMinSketch,
+    universe: u64,
+    label: &str,
+) {
+    for id in 0..universe + 20 {
+        assert_eq!(
+            engine.query(&element(id)).expect("query after recovery"),
+            SketchBackend::query(reference, &element(id)),
+            "{label}: diverged from sequential reference at id {id}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker death / recovery
+// ---------------------------------------------------------------------------
+
+/// Killing any single shard's worker mid-stream must be invisible in the
+/// answers: the supervisor re-forks the shard from its last checkpoint and
+/// replays the journal and surviving queue.
+#[test]
+fn killing_any_worker_mid_stream_is_bit_identical() {
+    quiet_injected_panics();
+    let ids = mixed_arrivals(50_000, 2_000, 42);
+    let reference = sequential_reference(&ids);
+    for victim in 0..4usize {
+        let mut engine = IngestEngine::new(
+            CountMinSketch::new(512, 4, 9),
+            EngineConfig::with_shards(4)
+                .batch_capacity(64)
+                .checkpoint_interval(4),
+        );
+        // Die on the victim's 5th event-loop iteration: several batches in,
+        // several batches still to come.
+        engine.fault_injector().program(
+            &format!("worker::poll@{victim}"),
+            FaultPlan::panic().on_hit(5),
+        );
+        for &id in &ids {
+            engine.ingest(&element(id)).unwrap();
+        }
+        engine
+            .flush()
+            .expect("flush must recover through the death");
+        let stats = engine.stats();
+        assert!(stats.conserved(), "victim {victim}: ledger must balance");
+        assert_eq!(
+            stats.unaccounted_mass(),
+            0,
+            "victim {victim}: zero unaccounted mass after recovery"
+        );
+        assert_eq!(stats.quarantined_mass, 0, "death is not a poison pill");
+        let log = engine.fault_log();
+        assert!(
+            log.worker_restarts() >= 1,
+            "victim {victim}: supervisor restart must be visible in the FaultLog, got {log:?}"
+        );
+        assert_eq!(stats.worker_restarts, log.worker_restarts() as u64);
+        assert_bit_identical(&mut engine, &reference, 2_000, "worker death");
+    }
+}
+
+/// A death in the window *between* applying a batch and committing it must
+/// not double-apply: the replacement's rebuilt state excludes the batch and
+/// the supervisor requeues it — exactly-once either way.
+#[test]
+fn death_between_apply_and_commit_applies_exactly_once() {
+    quiet_injected_panics();
+    let ids = mixed_arrivals(30_000, 1_000, 77);
+    let reference = sequential_reference(&ids);
+    let mut engine = IngestEngine::new(
+        CountMinSketch::new(512, 4, 9),
+        EngineConfig::with_shards(2).batch_capacity(64),
+    );
+    engine
+        .fault_injector()
+        .program("worker::before_commit@0", FaultPlan::panic().on_hit(3));
+    for &id in &ids {
+        engine.ingest(&element(id)).unwrap();
+    }
+    engine.flush().expect("recovery flush");
+    let log = engine.fault_log();
+    assert_eq!(log.worker_restarts(), 1);
+    assert!(log.batch_panics() >= 1, "the uncommitted batch is requeued");
+    let stats = engine.stats();
+    assert!(stats.conserved());
+    assert_eq!(stats.unaccounted_mass(), 0);
+    assert_bit_identical(&mut engine, &reference, 1_000, "pre-commit death");
+}
+
+// ---------------------------------------------------------------------------
+// Poison pills
+// ---------------------------------------------------------------------------
+
+/// A batch that panics on every application attempt is quarantined after
+/// `max_batch_attempts`, fully accounted; re-applying the quarantined
+/// updates reproduces the sequential reference exactly.
+#[test]
+fn poison_pill_batch_is_quarantined_and_reapplyable() {
+    quiet_injected_panics();
+    let ids = arrivals(20_000, 1_500, 11);
+    let reference = sequential_reference(&ids);
+    let mut engine = IngestEngine::new(
+        CountMinSketch::new(512, 4, 9),
+        EngineConfig::with_shards(3)
+            .batch_capacity(64)
+            .max_batch_attempts(3),
+    );
+    // Panic on the first update of shard 1's inflight batch, three times in
+    // a row: one batch exhausts all three of its attempts.
+    engine
+        .fault_injector()
+        .program("worker::apply@1", FaultPlan::panic().times(3));
+    for &id in &ids {
+        engine.ingest(&element(id)).unwrap();
+    }
+    engine.flush().expect("quarantine must not fail the flush");
+    let stats = engine.stats();
+    let log = engine.fault_log();
+    assert_eq!(log.quarantines(), 1, "exactly one poison pill: {log:?}");
+    assert_eq!(log.batch_panics(), 2, "two retries before quarantine");
+    assert!(stats.quarantined_mass > 0);
+    assert!(stats.conserved());
+    assert_eq!(
+        stats.unaccounted_mass(),
+        0,
+        "quarantined mass must stay accounted"
+    );
+
+    // The quarantined updates are retrievable and complete: re-applying
+    // them closes the gap to the sequential reference bit-for-bit.
+    let quarantined = engine.quarantined();
+    assert_eq!(
+        quarantined.iter().map(|(_, c)| c).sum::<u64>(),
+        stats.quarantined_mass
+    );
+    let mut repaired = engine.finish().expect("finish with a quarantine");
+    for (element, count) in &quarantined {
+        SketchBackend::ingest(&mut repaired, element, *count);
+    }
+    for id in 0..1_520u64 {
+        assert_eq!(
+            SketchBackend::query(&repaired, &element(id)),
+            SketchBackend::query(&reference, &element(id)),
+            "re-applied quarantine diverged at id {id}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard poisoning
+// ---------------------------------------------------------------------------
+
+/// A panic inside the checkpoint critical section may leave the snapshot
+/// half-written: the shard must be fenced off and queries must fail with
+/// the typed error instead of answering from corrupt state.
+#[test]
+fn checkpoint_panic_poisons_the_shard() {
+    quiet_injected_panics();
+    let mut engine = IngestEngine::new(
+        CountMinSketch::new(512, 4, 9),
+        EngineConfig::with_shards(2).batch_capacity(16),
+    );
+    engine
+        .fault_injector()
+        .program("worker::checkpoint@0", FaultPlan::panic().on_hit(1));
+    for &id in &arrivals(5_000, 400, 5) {
+        engine.ingest(&element(id)).unwrap();
+    }
+    let err = engine
+        .flush()
+        .expect_err("poisoned shard must fail the flush");
+    assert_eq!(err, EngineError::ShardPoisoned { shard: 0 });
+    assert_eq!(
+        engine.query(&element(3)).expect_err("queries must refuse"),
+        EngineError::ShardPoisoned { shard: 0 }
+    );
+    // The poisoning is reported (the dead worker may need one supervision
+    // pass to be reaped once its thread has fully exited).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while engine.fault_log().poisonings() == 0 && std::time::Instant::now() < deadline {
+        engine.supervise();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(engine.fault_log().poisonings(), 1);
+    assert_eq!(
+        engine.finish().expect_err("finish must refuse"),
+        EngineError::ShardPoisoned { shard: 0 }
+    );
+}
+
+/// The `Error` action surfaces the typed [`EngineError::FaultInjected`] on
+/// fallible paths — the cheap way to test caller-side error handling.
+#[test]
+fn error_action_surfaces_typed_error() {
+    let mut engine = IngestEngine::new(CountMinSketch::new(64, 2, 1), EngineConfig::with_shards(1));
+    engine
+        .fault_injector()
+        .program("engine::ingest", FaultPlan::error().on_hit(3));
+    assert!(engine.ingest(&element(1)).is_ok());
+    assert!(engine.ingest(&element(2)).is_ok());
+    assert_eq!(
+        engine.ingest(&element(3)).unwrap_err(),
+        EngineError::FaultInjected {
+            failpoint: "engine::ingest"
+        }
+    );
+    assert!(engine.ingest(&element(4)).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Overload suite: deterministic backpressure via delayed batch application
+// ---------------------------------------------------------------------------
+
+/// Overload fixture: one shard whose worker sleeps on every batch, so the
+/// offered rate exceeds the drain rate by construction.
+fn overloaded_engine(policy: BackpressurePolicy) -> IngestEngine<CountMinSketch> {
+    let engine = IngestEngine::new(
+        CountMinSketch::new(512, 4, 9),
+        EngineConfig::with_shards(1)
+            .batch_capacity(64)
+            .queue_capacity(2)
+            .backpressure(policy),
+    );
+    engine
+        .fault_injector()
+        .program("worker::batch", FaultPlan::delay(Duration::from_millis(2)));
+    engine
+}
+
+/// Block: every arrival is admitted (the producer stalls instead), so the
+/// result equals the sequential reference and nothing is rejected.
+#[test]
+fn block_policy_loses_nothing_under_overload() {
+    let ids = arrivals(20_000, 3_000, 21);
+    let reference = sequential_reference(&ids);
+    let mut engine = overloaded_engine(BackpressurePolicy::Block);
+    for &id in &ids {
+        engine.ingest(&element(id)).unwrap();
+    }
+    engine.flush().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.mass.rejected, 0, "Block never sheds load");
+    assert_eq!(stats.mass.degraded, 0, "Block never degrades");
+    assert_eq!(stats.ingested_mass(), ids.len() as u64);
+    assert!(stats.conserved());
+    assert_eq!(stats.unaccounted_mass(), 0);
+    assert_bit_identical(&mut engine, &reference, 3_000, "Block overload");
+}
+
+/// Reject: overloaded arrivals fail with the typed error; the ledger counts
+/// exactly the surfaced rejections, and the admitted arrivals alone
+/// reproduce the sequential reference.
+#[test]
+fn reject_policy_accounts_every_rejection_under_overload() {
+    let ids = arrivals(20_000, 3_000, 22);
+    let mut engine = overloaded_engine(BackpressurePolicy::Reject);
+    let mut admitted = Vec::new();
+    let mut rejections = 0u64;
+    for &id in &ids {
+        match engine.ingest(&element(id)) {
+            Ok(()) => admitted.push(id),
+            Err(EngineError::Overloaded { shard, .. }) => {
+                assert_eq!(shard, 0);
+                rejections += 1;
+            }
+            Err(other) => panic!("unexpected error under Reject: {other}"),
+        }
+    }
+    assert!(
+        rejections > 0,
+        "the overload fixture must actually overload"
+    );
+    engine.flush().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.mass.offered, ids.len() as u64);
+    assert_eq!(
+        stats.mass.rejected, rejections,
+        "ledger must count exactly the surfaced rejections"
+    );
+    assert_eq!(stats.ingested_mass(), admitted.len() as u64);
+    assert!(stats.conserved());
+    assert_eq!(stats.unaccounted_mass(), 0);
+    let reference = sequential_reference(&admitted);
+    assert_bit_identical(&mut engine, &reference, 3_000, "Reject overload");
+}
+
+/// DegradeAggregate: overloaded arrivals collapse into the growing shard
+/// buffer instead of being shed — total mass is preserved and the final
+/// result is exactly the sequential one.
+#[test]
+fn degrade_policy_preserves_total_mass_under_overload() {
+    let ids = arrivals(20_000, 3_000, 23);
+    let reference = sequential_reference(&ids);
+    let mut engine = overloaded_engine(BackpressurePolicy::DegradeAggregate);
+    for &id in &ids {
+        engine.ingest(&element(id)).unwrap();
+    }
+    let mid_stats = engine.stats();
+    assert!(
+        mid_stats.mass.degraded > 0,
+        "the overload fixture must actually degrade"
+    );
+    engine.flush().unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.mass.rejected, 0, "DegradeAggregate never sheds load");
+    assert_eq!(stats.ingested_mass(), ids.len() as u64);
+    assert!(stats.conserved());
+    assert_eq!(stats.unaccounted_mass(), 0);
+    assert_bit_identical(&mut engine, &reference, 3_000, "Degrade overload");
+}

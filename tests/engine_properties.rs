@@ -1,5 +1,6 @@
-//! Property-based tests of the ingest engine's merge algebra and sharding
-//! invariants.
+//! Property-based tests of the ingest engine's merge algebra, sharding
+//! invariants, and mass-conservation ledgers under every backpressure
+//! policy (with `--features failpoints`, also under injected panics).
 
 use opthash_repro::prelude::*;
 use proptest::prelude::*;
@@ -10,10 +11,84 @@ fn weighted_updates(max_distinct: u64, max_len: usize) -> impl Strategy<Value = 
         .prop_map(|ids| ids.into_iter().map(|id| (id, 1 + id % 5)).collect())
 }
 
+/// Strategy for a Zipf-like skewed update sequence: low ids dominate, the
+/// tail is long — the regime where pre-aggregation and degradation matter.
+fn zipfish_updates(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(0u64..1_000_000, 1..max_len).prop_map(|draws| {
+        draws
+            .into_iter()
+            .map(|raw| {
+                // Map a uniform draw to a heavy-headed rank: rank k gets
+                // roughly 1/(k+1) of the draws.
+                let rank = (1_000_000 / (raw + 1)).min(500);
+                (rank, 1 + raw % 3)
+            })
+            .collect()
+    })
+}
+
 fn apply<B: SketchBackend>(backend: &mut B, updates: &[(u64, u64)]) {
     for &(id, count) in updates {
         backend.ingest(&StreamElement::without_features(id), count);
     }
+}
+
+/// Feeds `ups` through an engine under `policy`, then checks the
+/// conservation contract: ledgers balance, no admitted mass is unlocatable
+/// after a flush, and the merged estimator equals the same backend fed only
+/// the *admitted* updates sequentially.
+fn check_policy_conserves(
+    policy: BackpressurePolicy,
+    ups: &[(u64, u64)],
+    shards: usize,
+    batch: usize,
+) -> Result<(), String> {
+    let backend = CountMinSketch::new(128, 4, 11);
+    let mut engine = IngestEngine::new(
+        backend.clone(),
+        EngineConfig::with_shards(shards)
+            .batch_capacity(batch)
+            .queue_capacity(2)
+            .backpressure(policy),
+    );
+    let mut admitted = Vec::new();
+    let mut offered_mass = 0u64;
+    let mut rejected_mass = 0u64;
+    for &(id, count) in ups {
+        offered_mass += count;
+        match engine.ingest_weighted(&StreamElement::without_features(id), count) {
+            Ok(()) => admitted.push((id, count)),
+            Err(EngineError::Overloaded { .. }) => rejected_mass += count,
+            Err(other) => return Err(format!("unexpected error: {other}")),
+        }
+    }
+    engine.flush().expect("flush after clean ingest");
+    let stats = engine.stats();
+    prop_assert!(stats.conserved(), "ledger must balance under {policy:?}");
+    prop_assert_eq!(stats.mass.offered, offered_mass);
+    prop_assert_eq!(stats.mass.rejected, rejected_mass);
+    prop_assert_eq!(
+        stats.unaccounted_mass(),
+        0,
+        "admitted mass must be locatable after flush under {policy:?}"
+    );
+    if !matches!(policy, BackpressurePolicy::Reject) {
+        prop_assert_eq!(rejected_mass, 0, "only Reject may shed load");
+    }
+    let mut sequential = backend;
+    apply(&mut sequential, &admitted);
+    for id in 0..520u64 {
+        prop_assert_eq!(
+            engine
+                .query(&StreamElement::without_features(id))
+                .expect("query after clean ingest"),
+            SketchBackend::query(&sequential, &StreamElement::without_features(id)),
+            "{:?} diverged from sequential replay of admitted updates at id {}",
+            policy,
+            id
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -85,29 +160,66 @@ proptest! {
         }
     }
 
-    /// The engine gives identical answers regardless of shard count and
-    /// batch capacity, for arbitrary (not just Zipfian) update sequences.
+    /// The engine gives identical answers regardless of shard count, batch
+    /// capacity, and ingest mode, for arbitrary update sequences.
     #[test]
     fn engine_is_invariant_to_shard_count_and_batching(
         ups in weighted_updates(400, 300),
         shards in 1usize..6,
         batch in 1usize..64,
+        inline in 0usize..2,
     ) {
         let backend = CountMinSketch::new(128, 4, 11);
         let mut sequential = backend.clone();
         apply(&mut sequential, &ups);
 
+        let mode = if inline == 1 { IngestMode::Inline } else { IngestMode::Workers };
         let mut engine = IngestEngine::new(
             backend,
-            EngineConfig { shards, batch_capacity: batch },
+            EngineConfig::with_shards(shards).batch_capacity(batch).mode(mode),
         );
         for &(id, count) in &ups {
-            engine.ingest_weighted(&StreamElement::without_features(id), count);
+            engine.ingest_weighted(&StreamElement::without_features(id), count).unwrap();
         }
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         for id in 0..420u64 {
             prop_assert_eq!(merged.query(ElementId(id)), sequential.query(ElementId(id)));
         }
+    }
+
+    /// Mass conservation under [`BackpressurePolicy::Block`]: nothing is
+    /// ever shed, and the result is exactly the sequential one.
+    #[test]
+    fn block_policy_conserves_mass(
+        ups in zipfish_updates(400),
+        shards in 1usize..5,
+        batch in 1usize..32,
+    ) {
+        check_policy_conserves(BackpressurePolicy::Block, &ups, shards, batch)?;
+    }
+
+    /// Mass conservation under [`BackpressurePolicy::Reject`]: every
+    /// rejection is surfaced to the caller *and* counted in the ledger, and
+    /// the merged result equals sequential replay of the admitted updates.
+    #[test]
+    fn reject_policy_accounts_every_rejection(
+        ups in zipfish_updates(400),
+        shards in 1usize..5,
+        batch in 1usize..32,
+    ) {
+        check_policy_conserves(BackpressurePolicy::Reject, &ups, shards, batch)?;
+    }
+
+    /// Mass conservation under [`BackpressurePolicy::DegradeAggregate`]:
+    /// degraded arrivals stay in the (growing) buffer, so the final result
+    /// is still exactly the sequential one.
+    #[test]
+    fn degrade_policy_conserves_mass(
+        ups in zipfish_updates(400),
+        shards in 1usize..5,
+        batch in 1usize..32,
+    ) {
+        check_policy_conserves(BackpressurePolicy::DegradeAggregate, &ups, shards, batch)?;
     }
 
     /// Misra-Gries is order-dependent, so sharded results may differ from
@@ -124,12 +236,12 @@ proptest! {
         }
         let mut engine = IngestEngine::new(
             MisraGries::new(16),
-            EngineConfig { shards, batch_capacity: 32 },
+            EngineConfig::with_shards(shards).batch_capacity(32),
         );
         for &(id, count) in &ups {
-            engine.ingest_weighted(&StreamElement::without_features(id), count);
+            engine.ingest_weighted(&StreamElement::without_features(id), count).unwrap();
         }
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         prop_assert!(merged.tracked() <= 16);
         let bound = merged.error_bound();
         for (id, f) in truth.iter() {
@@ -139,6 +251,66 @@ proptest! {
                 f as f64 - estimate as f64 <= bound + 1e-9,
                 "deficit for {} exceeds the merged bound {}", id, bound
             );
+        }
+    }
+}
+
+/// Conservation must also survive *panics injected mid-application*: a
+/// caught batch panic is retried from the last consistent scratch state, so
+/// the final answers and ledgers are exactly those of a clean run.
+#[cfg(feature = "failpoints")]
+mod under_injected_panics {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn policies_conserve_mass_through_batch_panics(
+            ups in zipfish_updates(300),
+            shards in 1usize..4,
+            policy_pick in 0usize..3,
+            panic_hit in 0u64..40,
+        ) {
+            let policy = [
+                BackpressurePolicy::Block,
+                BackpressurePolicy::Reject,
+                BackpressurePolicy::DegradeAggregate,
+            ][policy_pick];
+            let backend = CountMinSketch::new(128, 4, 11);
+            let mut engine = IngestEngine::new(
+                backend.clone(),
+                EngineConfig::with_shards(shards)
+                    .batch_capacity(8)
+                    .queue_capacity(2)
+                    .backpressure(policy),
+            );
+            // One one-shot panic somewhere along the apply path: the batch
+            // must be retried, not lost, so the run stays exact.
+            engine
+                .fault_injector()
+                .program("worker::apply", FaultPlan::panic().after(panic_hit).times(1));
+            let mut admitted = Vec::new();
+            for &(id, count) in &ups {
+                match engine.ingest_weighted(&StreamElement::without_features(id), count) {
+                    Ok(()) => admitted.push((id, count)),
+                    Err(EngineError::Overloaded { .. }) => {}
+                    Err(other) => return Err(format!("unexpected error: {other}")),
+                }
+            }
+            engine.flush().expect("panic-isolated flush");
+            let stats = engine.stats();
+            prop_assert!(stats.conserved());
+            prop_assert_eq!(stats.unaccounted_mass(), 0);
+            prop_assert_eq!(stats.quarantined_mass, 0, "one panic never quarantines");
+            let mut sequential = backend;
+            apply(&mut sequential, &admitted);
+            for id in 0..520u64 {
+                prop_assert_eq!(
+                    engine.query(&StreamElement::without_features(id)).unwrap(),
+                    SketchBackend::query(&sequential, &StreamElement::without_features(id))
+                );
+            }
         }
     }
 }
