@@ -769,8 +769,13 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
         }
         let split = elements.len().saturating_sub(LOOKAHEAD);
         let (head, tail) = elements.split_at(split);
+        // `get`, not indexing: a slice shorter than LOOKAHEAD has an empty
+        // `head`, and `elements[LOOKAHEAD..]` would panic before the zip
+        // could bound it.
+        let upcoming = elements.get(LOOKAHEAD..).unwrap_or(&[]);
         let mut position = 0usize;
-        for (element, upcoming) in head.iter().zip(elements[LOOKAHEAD..].iter()) {
+        let mut result = Ok(());
+        for (element, upcoming) in head.iter().zip(upcoming.iter()) {
             let hash = ring[position & (LOOKAHEAD - 1)];
             let ahead = mix64(upcoming.id.raw());
             ring[position & (LOOKAHEAD - 1)] = ahead;
@@ -778,17 +783,32 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             let nshards = self.buffers.len() as u64;
             let shard = (((ahead >> 32) * nshards) >> 32) as usize;
             self.buffers[shard].prefetch(ahead);
-            self.block_ingest_one(hash, element)?;
+            if let Err(err) = self.block_ingest_one(hash, element) {
+                result = Err(err);
+                break;
+            }
         }
-        for element in tail {
-            let hash = ring[position & (LOOKAHEAD - 1)];
-            position += 1;
-            self.block_ingest_one(hash, element)?;
+        if result.is_ok() {
+            for element in tail {
+                let hash = ring[position & (LOOKAHEAD - 1)];
+                position += 1;
+                if let Err(err) = self.block_ingest_one(hash, element) {
+                    result = Err(err);
+                    break;
+                }
+            }
         }
-        self.elements.accept(elements.len() as u64);
-        self.mass.accept(elements.len() as u64);
-        self.dirty = true;
-        Ok(())
+        // Every arrival up to and including a failing one was upserted into
+        // its shard buffer before dispatch could error, so the processed
+        // prefix must be admitted to the ledgers even when propagating —
+        // otherwise unaccounted_mass() goes negative and, were `dirty`
+        // still false, a later query would skip flushing those arrivals.
+        if position > 0 {
+            self.elements.accept(position as u64);
+            self.mass.accept(position as u64);
+            self.dirty = true;
+        }
+        result
     }
 
     /// One arrival on the Block-policy bulk path (`hash` is the arrival's
@@ -1014,12 +1034,24 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
         match self.config.mode {
             IngestMode::Inline => self.flush_inline()?,
             IngestMode::Workers => {
+                // A poisoned shard must not stop the others from flushing:
+                // record the first error but keep dispatching and keep the
+                // barrier, so every healthy shard still reaches a
+                // consistent checkpoint (mirrors `flush_inline`).
+                let mut first_err = None;
                 for shard in 0..self.buffers.len() {
                     if !self.buffers[shard].is_empty() {
-                        self.dispatch(shard, true)?;
+                        if let Err(err) = self.dispatch(shard, true) {
+                            first_err.get_or_insert(err);
+                        }
                     }
                 }
-                self.barrier()?;
+                if let Err(err) = self.barrier() {
+                    first_err.get_or_insert(err);
+                }
+                if let Some(err) = first_err {
+                    return Err(err);
+                }
             }
         }
         self.dirty = false;
@@ -1125,13 +1157,16 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                 })
                 .collect()
         };
+        let mut first_err = None;
         for (shard, cell, epoch) in requests {
             loop {
                 let (done, poisoned) = cell.wait_sync(epoch, SUPERVISE_TICK);
                 if poisoned {
-                    // Reap the dead worker and log the poisoning.
+                    // Reap the dead worker and log the poisoning, then move
+                    // on: the remaining shards still get synchronized.
                     self.supervise();
-                    return Err(EngineError::ShardPoisoned { shard });
+                    first_err.get_or_insert(EngineError::ShardPoisoned { shard });
+                    break;
                 }
                 if done {
                     break;
@@ -1139,7 +1174,10 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                 self.supervise();
             }
         }
-        Ok(())
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
     /// Itemized memory usage of the *logical* estimator (one backend's

@@ -143,17 +143,21 @@ impl CountMinSketch {
     {
         match self.policy {
             UpdatePolicy::Standard => {
+                // Settle the batch mass in its own pass: folding it into a
+                // level loop would commit only the last level's sum — and
+                // nothing at all at depth 0.
                 let mut mass = 0u64;
+                for (_, count) in updates.clone() {
+                    mass += count;
+                }
                 for level in 0..self.depth {
                     let hash = self.hashes.function(level).clone();
                     let row = &mut self.counters[level * self.width..(level + 1) * self.width];
-                    mass = 0;
                     for (id, count) in updates.clone() {
                         if count == 0 {
                             continue;
                         }
                         row[hash.hash(id.raw())] += count;
-                        mass += count;
                     }
                 }
                 self.total_updates += mass;

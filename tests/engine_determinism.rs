@@ -79,6 +79,50 @@ fn count_min_sharded_equals_sequential() {
     assert_engine_matches_sequential(CountMinSketch::new(256, 4, 7), &stream, 2_000, "count-min");
 }
 
+/// Regression: `ingest_batch` must accept slices shorter than its prefetch
+/// lookahead (16) — the split-at-lookahead fast path used to slice
+/// `elements[16..]` unconditionally and panic on 0..16 elements.
+#[test]
+fn ingest_batch_accepts_short_slices() {
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::Reject,
+        BackpressurePolicy::DegradeAggregate,
+    ] {
+        for mode in [IngestMode::Workers, IngestMode::Inline] {
+            for len in 0..=17usize {
+                let arrivals: Vec<StreamElement> = (0..len as u64).map(element).collect();
+                let mut sequential = CountMinSketch::new(64, 3, 11);
+                for arrival in &arrivals {
+                    sequential.ingest(arrival, 1);
+                }
+                let mut engine = IngestEngine::new(
+                    CountMinSketch::new(64, 3, 11),
+                    EngineConfig::with_shards(4)
+                        .batch_capacity(8)
+                        .mode(mode)
+                        .backpressure(policy),
+                );
+                engine
+                    .ingest_batch(&arrivals)
+                    .unwrap_or_else(|err| panic!("len {len} ({mode:?}, {policy:?}): {err}"));
+                for probe in (0..len as u64 + 4).map(element) {
+                    let got = engine.query(&probe).unwrap();
+                    let expected = SketchBackend::query(&sequential, &probe);
+                    assert!(
+                        (got - expected).abs() < 1e-12,
+                        "len {len} ({mode:?}, {policy:?}) diverged for {}: {got} vs {expected}",
+                        probe.id
+                    );
+                }
+                let stats = engine.stats();
+                assert!(stats.conserved(), "len {len}: intake ledger must balance");
+                assert_eq!(stats.unaccounted_mass(), 0, "len {len}: mass unaccounted");
+            }
+        }
+    }
+}
+
 #[test]
 fn count_sketch_sharded_equals_sequential() {
     let stream = zipf_stream(2_000, 50_000, 1.1, 43);
