@@ -1,7 +1,8 @@
-//! Tabular reporting and CSV export shared by the experiment binaries.
+//! Tabular reporting, CSV export, and `BENCH_*.json` perf-report emission
+//! shared by the experiment binaries.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A simple experiment result table: a header row plus data rows, printed to
 /// stdout in aligned columns and exported as CSV.
@@ -89,6 +90,144 @@ pub fn write_csv(name: &str, columns: &[String], rows: &[Vec<String>]) -> std::i
     Ok(path)
 }
 
+/// An ordered set of JSON object fields, rendered in insertion order. The
+/// workspace deliberately vendors no JSON serializer; the perf-trajectory
+/// schema is flat enough that deterministic formatting beats a dependency.
+#[derive(Debug, Clone, Default)]
+pub struct JsonFields {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonFields {
+    /// An empty field set.
+    pub fn new() -> Self {
+        JsonFields::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.entries.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: impl Into<i128>) -> Self {
+        let value: i128 = value.into();
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a floating-point field with `decimals` fractional digits.
+    pub fn float(self, key: &str, value: f64, decimals: usize) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.decimals$}")
+        } else {
+            // JSON has no Infinity/NaN; record them as null.
+            "null".to_owned()
+        };
+        self.push(key, rendered)
+    }
+
+    /// Adds a string field (escaped).
+    pub fn text(self, key: &str, value: &str) -> Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        self.push(key, format!("\"{escaped}\""))
+    }
+
+    /// Adds a boolean field.
+    pub fn flag(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    fn render(&self, indent: &str) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|(key, value)| format!("{indent}\"{key}\": {value}"))
+            .collect()
+    }
+}
+
+/// A `BENCH_*.json` perf report: ordered scalar fields plus named lists of
+/// objects, rendered as stable, diff-friendly JSON so the repository keeps
+/// a performance trajectory across PRs.
+///
+/// ```
+/// use opthash_bench::reporting::{JsonFields, PerfReport};
+///
+/// let mut report = PerfReport::new("demo");
+/// report.set(JsonFields::new().int("arrivals", 1000).float("qps", 1.5, 3));
+/// report.push("rows", JsonFields::new().text("name", "a").int("n", 1));
+/// let json = report.to_json();
+/// assert!(json.starts_with("{\n  \"bench\": \"demo\",\n"));
+/// assert!(json.contains("\"qps\": 1.500"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    bench: String,
+    fields: JsonFields,
+    lists: Vec<(String, Vec<JsonFields>)>,
+}
+
+impl PerfReport {
+    /// A report named `bench` (emitted as the leading `"bench"` field).
+    pub fn new(bench: &str) -> Self {
+        PerfReport {
+            bench: bench.to_owned(),
+            fields: JsonFields::new(),
+            lists: Vec::new(),
+        }
+    }
+
+    /// Appends top-level scalar fields.
+    pub fn set(&mut self, fields: JsonFields) -> &mut Self {
+        self.fields.entries.extend(fields.entries);
+        self
+    }
+
+    /// Appends one object to the list named `key` (created on first use;
+    /// lists render after the scalar fields, in first-use order).
+    pub fn push(&mut self, key: &str, object: JsonFields) -> &mut Self {
+        match self.lists.iter_mut().find(|(name, _)| name == key) {
+            Some((_, objects)) => objects.push(object),
+            None => self.lists.push((key.to_owned(), vec![object])),
+        }
+        self
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut lines = vec![format!("  \"bench\": \"{}\"", self.bench)];
+        lines.extend(self.fields.render("  "));
+        for (key, objects) in &self.lists {
+            let mut rendered = format!("  \"{key}\": [\n");
+            for (i, object) in objects.iter().enumerate() {
+                rendered.push_str("    {\n");
+                rendered.push_str(&object.render("      ").join(",\n"));
+                rendered.push('\n');
+                rendered.push_str(if i + 1 == objects.len() {
+                    "    }\n"
+                } else {
+                    "    },\n"
+                });
+            }
+            rendered.push_str("  ]");
+            lines.push(rendered);
+        }
+        format!("{{\n{}\n}}\n", lines.join(",\n"))
+    }
+
+    /// Writes the rendered report to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
 /// Mean and standard deviation of a sample (population std; the experiments
 /// report spread across repeated runs as the paper does).
 pub fn mean_std(values: &[f64]) -> (f64, f64) {
@@ -125,5 +264,53 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = ExperimentTable::new("test", &["a", "b"]);
         t.push_row(vec!["only-one".to_owned()]);
+    }
+
+    #[test]
+    fn perf_report_renders_stable_json() {
+        let mut report = PerfReport::new("registry");
+        report.set(
+            JsonFields::new()
+                .int("tenants", 1000)
+                .float("qps", 1234.5678, 1)
+                .text("note", "say \"hi\"\\")
+                .flag("governed", true),
+        );
+        report.push(
+            "classes",
+            JsonFields::new().text("class", "telemetry").int("n", 334),
+        );
+        report.push(
+            "classes",
+            JsonFields::new().text("class", "search").int("n", 333),
+        );
+        let json = report.to_json();
+        let expected = concat!(
+            "{\n",
+            "  \"bench\": \"registry\",\n",
+            "  \"tenants\": 1000,\n",
+            "  \"qps\": 1234.6,\n",
+            "  \"note\": \"say \\\"hi\\\"\\\\\",\n",
+            "  \"governed\": true,\n",
+            "  \"classes\": [\n",
+            "    {\n",
+            "      \"class\": \"telemetry\",\n",
+            "      \"n\": 334\n",
+            "    },\n",
+            "    {\n",
+            "      \"class\": \"search\",\n",
+            "      \"n\": 333\n",
+            "    }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn perf_report_nan_becomes_null() {
+        let mut report = PerfReport::new("x");
+        report.set(JsonFields::new().float("bad", f64::NAN, 2));
+        assert!(report.to_json().contains("\"bad\": null"));
     }
 }

@@ -14,6 +14,9 @@
 //!   popular queries.
 //! * [`trace`] — a loader for real query-log traces in the AOL TSV format,
 //!   so users who have the original dataset can run every experiment on it.
+//! * [`tenants`] — mixed multi-tenant serving workloads that combine the
+//!   generators above and skew traffic across tenants, for exercising the
+//!   registry's memory-budget governor.
 //! * [`zipf`] — the shared Zipf sampler.
 //!
 //! All generators are deterministic given their seed, so every experiment in
@@ -37,10 +40,12 @@
 
 pub mod groups;
 pub mod querylog;
+pub mod tenants;
 pub mod trace;
 pub mod zipf;
 
 pub use groups::{GroupConfig, GroupDataset};
 pub use querylog::{QueryLogConfig, QueryLogDataset};
+pub use tenants::{MixedTenantConfig, MixedTenantWorkload, TenantArrival, TenantClass};
 pub use trace::{QueryTrace, TraceRecord};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,236 @@
+//! Mixed multi-tenant workloads for registry and serving experiments.
+//!
+//! A serving machine does not host one stream: it hosts a fleet of tenants
+//! with different element distributions and wildly different traffic
+//! volumes. [`MixedTenantWorkload`] models that by combining the
+//! repository's three workload families — network-telemetry-style heavy
+//! Zipf streams, search-query-style moderate Zipf streams ([`crate::zipf`],
+//! Section 7's rank–frequency law), and the paper's group-structured
+//! synthetic streams ([`crate::groups`], Section 6.1) — and skewing the
+//! *traffic across tenants* by its own Zipf law, so a few tenants are hot
+//! and the long tail is cold. That hot/cold mix is exactly what a
+//! memory-budget governor needs to be exercised against.
+//!
+//! Everything is deterministic given the seed.
+
+use crate::groups::{GroupConfig, GroupDataset};
+use crate::zipf::ZipfSampler;
+use opthash_stream::StreamElement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The workload family a tenant belongs to. Assigned round-robin by tenant
+/// index, so every class is represented at every traffic temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantClass {
+    /// Network-telemetry-style stream: heavy Zipf (`s = 1.3`), a few flows
+    /// dominate.
+    Telemetry,
+    /// Search-query-style stream: classic Zipf (`s = 1.0`), matching the
+    /// query-log calibration of Section 7.
+    Search,
+    /// Group-structured stream from the paper's Section 6.1 generator:
+    /// exponentially growing groups, group arrival probability `∝ 1/g`.
+    Groups,
+}
+
+impl TenantClass {
+    /// All classes, in round-robin assignment order.
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::Telemetry,
+        TenantClass::Search,
+        TenantClass::Groups,
+    ];
+
+    /// Short class name used in tenant names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Telemetry => "telemetry",
+            TenantClass::Search => "search",
+            TenantClass::Groups => "groups",
+        }
+    }
+}
+
+/// Configuration of a [`MixedTenantWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedTenantConfig {
+    /// Number of tenants in the fleet.
+    pub tenants: usize,
+    /// Zipf exponent of the traffic split *across* tenants (higher = fewer
+    /// hot tenants carrying more of the stream).
+    pub tenant_exponent: f64,
+    /// Element universe per Zipfian tenant.
+    pub universe_per_tenant: usize,
+    /// Groups per group-structured tenant (universe `8·(2^G − 1)`).
+    pub groups_per_tenant: usize,
+    /// Base seed; every derived sampler and stream reuses it.
+    pub seed: u64,
+}
+
+impl Default for MixedTenantConfig {
+    fn default() -> Self {
+        MixedTenantConfig {
+            tenants: 100,
+            tenant_exponent: 1.2,
+            universe_per_tenant: 10_000,
+            groups_per_tenant: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl MixedTenantConfig {
+    /// A fleet of `tenants` tenants with the remaining defaults.
+    pub fn with_tenants(tenants: usize) -> Self {
+        MixedTenantConfig {
+            tenants,
+            ..MixedTenantConfig::default()
+        }
+    }
+}
+
+/// One routed arrival: which tenant it belongs to and the element itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantArrival {
+    /// Tenant index in `0..config.tenants`.
+    pub tenant: usize,
+    /// The arriving element (IDs are scoped per tenant).
+    pub element: StreamElement,
+}
+
+/// A deterministic generator of mixed multi-tenant traffic.
+pub struct MixedTenantWorkload {
+    config: MixedTenantConfig,
+    tenant_sampler: ZipfSampler,
+    telemetry: ZipfSampler,
+    search: ZipfSampler,
+    /// Shared pool of group-structured arrivals; group-class tenants walk
+    /// it at per-tenant offsets, so each sees the same law without paying
+    /// for a dataset per tenant.
+    group_pool: Vec<u64>,
+}
+
+impl MixedTenantWorkload {
+    /// Size of the shared group-arrival pool.
+    const GROUP_POOL: usize = 1 << 15;
+
+    /// Builds the workload's samplers.
+    pub fn new(config: MixedTenantConfig) -> Self {
+        assert!(config.tenants > 0, "need at least one tenant");
+        assert!(
+            config.universe_per_tenant > 0,
+            "need a non-empty per-tenant universe"
+        );
+        let dataset = GroupDataset::generate(GroupConfig::with_groups(config.groups_per_tenant));
+        let group_pool = dataset
+            .generate_stream(Self::GROUP_POOL, config.seed ^ 0x6702)
+            .as_slice()
+            .iter()
+            .map(|element| element.id.raw())
+            .collect();
+        MixedTenantWorkload {
+            tenant_sampler: ZipfSampler::new(config.tenants, config.tenant_exponent),
+            telemetry: ZipfSampler::new(config.universe_per_tenant, 1.3),
+            search: ZipfSampler::new(config.universe_per_tenant, 1.0),
+            group_pool,
+            config,
+        }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &MixedTenantConfig {
+        &self.config
+    }
+
+    /// The class of tenant `index` (round-robin).
+    pub fn class_of(&self, index: usize) -> TenantClass {
+        TenantClass::ALL[index % TenantClass::ALL.len()]
+    }
+
+    /// Canonical name of tenant `index`, e.g. `telemetry-0003`.
+    pub fn tenant_name(&self, index: usize) -> String {
+        format!("{}-{index:04}", self.class_of(index).name())
+    }
+
+    /// Expected fraction of all traffic hitting tenant `index`.
+    pub fn tenant_share(&self, index: usize) -> f64 {
+        self.tenant_sampler.probability(index)
+    }
+
+    /// An iterator over `arrivals` routed arrivals, deterministic in the
+    /// config seed: tenant drawn from the cross-tenant Zipf law, element
+    /// drawn from the tenant's class distribution.
+    pub fn arrivals(&self, arrivals: usize) -> impl Iterator<Item = TenantArrival> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (0..arrivals).map(move |_| {
+            let tenant = self.tenant_sampler.sample(&mut rng);
+            let id = match self.class_of(tenant) {
+                TenantClass::Telemetry => self.telemetry.sample(&mut rng) as u64,
+                TenantClass::Search => self.search.sample(&mut rng) as u64,
+                TenantClass::Groups => self.group_pool[rng.gen_range(0..self.group_pool.len())],
+            };
+            TenantArrival {
+                tenant,
+                element: StreamElement::without_features(id),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_and_routed() {
+        let workload = MixedTenantWorkload::new(MixedTenantConfig {
+            tenants: 12,
+            ..MixedTenantConfig::default()
+        });
+        let first: Vec<TenantArrival> = workload.arrivals(2_000).collect();
+        let again: Vec<TenantArrival> = workload.arrivals(2_000).collect();
+        assert_eq!(first, again, "same seed, same traffic");
+        assert!(first.iter().all(|a| a.tenant < 12));
+        // All three classes receive traffic.
+        for class in TenantClass::ALL {
+            assert!(
+                first.iter().any(|a| workload.class_of(a.tenant) == class),
+                "{} tenants must see arrivals",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_is_skewed_across_tenants() {
+        let workload = MixedTenantWorkload::new(MixedTenantConfig {
+            tenants: 30,
+            tenant_exponent: 1.2,
+            ..MixedTenantConfig::default()
+        });
+        let mut per_tenant = vec![0usize; 30];
+        for arrival in workload.arrivals(30_000) {
+            per_tenant[arrival.tenant] += 1;
+        }
+        let hottest = *per_tenant.iter().max().unwrap();
+        let coldest = *per_tenant.iter().min().unwrap();
+        assert!(
+            hottest > coldest.max(1) * 10,
+            "Zipf split must create a hot/cold spread (hot {hottest}, cold {coldest})"
+        );
+        // The expected shares sum to one and are monotone in rank.
+        let share_sum: f64 = (0..30).map(|i| workload.tenant_share(i)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        assert!(workload.tenant_share(0) > workload.tenant_share(29));
+    }
+
+    #[test]
+    fn names_encode_the_class() {
+        let workload = MixedTenantWorkload::new(MixedTenantConfig::with_tenants(6));
+        assert_eq!(workload.tenant_name(0), "telemetry-0000");
+        assert_eq!(workload.tenant_name(1), "search-0001");
+        assert_eq!(workload.tenant_name(2), "groups-0002");
+        assert_eq!(workload.class_of(5), TenantClass::Groups);
+    }
+}

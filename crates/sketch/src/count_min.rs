@@ -224,6 +224,49 @@ impl CountMinSketch {
         self.total_updates += other.total_updates;
     }
 
+    /// Folds the sketch down to `new_width` buckets per level, where
+    /// `new_width` must divide the current width: counters whose bucket
+    /// indices are congruent modulo `new_width` are summed, and every hash
+    /// function is restricted to the smaller range (same coefficients).
+    ///
+    /// Because `(h mod width) mod new_width = h mod new_width` whenever
+    /// `new_width | width`, the folded sketch is **exactly** the sketch that
+    /// the same update stream would have produced at `new_width` directly
+    /// (for [`UpdatePolicy::Standard`]; conservative updates are nonlinear,
+    /// so a folded conservative sketch may over-estimate more than a
+    /// directly-built one, but still never under-estimates). No counted mass
+    /// is lost — [`CountMinSketch::total_updates`] is unchanged — only
+    /// precision: the error bound widens from `e/width` to `e/new_width`.
+    ///
+    /// This is the memory-governor's degradation primitive: a cold
+    /// estimator's footprint halves (or better) in `O(width · depth)` time
+    /// without replaying its stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero or does not divide the current width.
+    pub fn fold_to_width(&mut self, new_width: usize) {
+        assert!(new_width > 0, "new width must be positive");
+        assert!(
+            self.width % new_width == 0,
+            "new width must divide the current width"
+        );
+        if new_width == self.width {
+            return;
+        }
+        let mut folded = vec![0u64; new_width * self.depth];
+        for level in 0..self.depth {
+            let row = &self.counters[level * self.width..(level + 1) * self.width];
+            let out = &mut folded[level * new_width..(level + 1) * new_width];
+            for (bucket, &count) in row.iter().enumerate() {
+                out[bucket % new_width] += count;
+            }
+        }
+        self.counters = folded;
+        self.hashes = self.hashes.with_range(new_width);
+        self.width = new_width;
+    }
+
     /// The `(ε, δ)` guarantee of this configuration: the additive error is at
     /// most `ε·‖f‖₁` with probability `1 − δ`, where `ε = e/width` and
     /// `δ = e^{-depth}` (Section 2.1).
@@ -473,5 +516,52 @@ mod tests {
         let mut a = CountMinSketch::new(32, 3, 1);
         let b = CountMinSketch::new(64, 3, 1);
         a.merge(&b);
+    }
+
+    #[test]
+    fn folded_sketch_equals_directly_built_smaller_sketch() {
+        // `PairwiseHash::draw` consumes the same RNG draws regardless of its
+        // range, so two sketches with the same seed share coefficients at any
+        // width — folding must therefore reproduce the narrow build exactly.
+        let stream = zipf_stream(400, 15_000, 13);
+        let mut wide = CountMinSketch::new(1024, 4, 99);
+        let mut narrow = CountMinSketch::new(128, 4, 99);
+        wide.update_stream(&stream);
+        narrow.update_stream(&stream);
+        wide.fold_to_width(128);
+        assert_eq!(wide.width(), 128);
+        assert_eq!(wide.total_updates(), narrow.total_updates());
+        for id in 0..500u64 {
+            assert_eq!(
+                wide.query(ElementId(id)),
+                narrow.query(ElementId(id)),
+                "folded estimate diverged for {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_preserves_mass_and_never_underestimates() {
+        let stream = zipf_stream(300, 10_000, 4);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cms = CountMinSketch::new(512, 4, 7);
+        cms.update_stream(&stream);
+        let mass = cms.total_updates();
+        cms.fold_to_width(64);
+        cms.fold_to_width(16);
+        assert_eq!(cms.total_updates(), mass, "fold must not lose mass");
+        for (id, f) in truth.iter() {
+            assert!(cms.query(id) >= f, "under-estimate for {id} after folds");
+        }
+        // Folding to the current width is a no-op.
+        cms.fold_to_width(16);
+        assert_eq!(cms.width(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn fold_to_non_divisor_width_panics() {
+        let mut cms = CountMinSketch::new(100, 2, 1);
+        cms.fold_to_width(33);
     }
 }

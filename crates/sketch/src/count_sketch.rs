@@ -71,6 +71,12 @@ impl CountSketch {
         self.width * self.depth
     }
 
+    /// Total count mass added so far (`‖f‖₁` of the processed stream).
+    #[inline]
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
     /// Adds `count` occurrences of `id`.
     pub fn add(&mut self, id: ElementId, count: u64) {
         if count == 0 {
@@ -116,6 +122,47 @@ impl CountSketch {
             counters: vec![0; self.width * self.depth],
             total_updates: 0,
         }
+    }
+
+    /// Folds the sketch down to `new_width` buckets per level, where
+    /// `new_width` must divide the current width: signed counters whose
+    /// bucket indices are congruent modulo `new_width` are summed and the
+    /// bucket hashes are restricted to the smaller range (sign hashes are
+    /// width-independent and unchanged).
+    ///
+    /// As with [`crate::CountMinSketch::fold_to_width`], the modular
+    /// projection property of the Carter–Wegman hashes makes the folded
+    /// sketch exactly the one the same stream would have produced at
+    /// `new_width`: per-level estimates stay unbiased, only their variance
+    /// grows. [`CountSketch::total_updates`] is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero or does not divide the current width.
+    pub fn fold_to_width(&mut self, new_width: usize) {
+        assert!(new_width > 0, "new width must be positive");
+        assert!(
+            self.width % new_width == 0,
+            "new width must divide the current width"
+        );
+        if new_width == self.width {
+            return;
+        }
+        let mut folded = vec![0i64; new_width * self.depth];
+        for level in 0..self.depth {
+            let row = &self.counters[level * self.width..(level + 1) * self.width];
+            let out = &mut folded[level * new_width..(level + 1) * new_width];
+            for (bucket, &count) in row.iter().enumerate() {
+                out[bucket % new_width] += count;
+            }
+        }
+        self.counters = folded;
+        self.bucket_hashes = self
+            .bucket_hashes
+            .iter()
+            .map(|h| h.with_range(new_width))
+            .collect();
+        self.width = new_width;
     }
 
     /// Merges another sketch of the *same configuration* into this one by
@@ -305,5 +352,26 @@ mod tests {
         let mut a = CountSketch::new(32, 2, 1);
         let b = CountSketch::new(32, 2, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn folded_sketch_equals_directly_built_smaller_sketch() {
+        let stream = skewed_stream(300, 12_000, 17);
+        let mut wide = CountSketch::new(512, 5, 23);
+        let mut narrow = CountSketch::new(64, 5, 23);
+        for element in stream.iter() {
+            wide.add(element.id, 1);
+            narrow.add(element.id, 1);
+        }
+        wide.fold_to_width(64);
+        assert_eq!(wide.width(), 64);
+        assert_eq!(wide.total_updates(), narrow.total_updates());
+        for id in 0..400u64 {
+            assert_eq!(
+                wide.query_signed(ElementId(id)),
+                narrow.query_signed(ElementId(id)),
+                "folded estimate diverged for {id}"
+            );
+        }
     }
 }

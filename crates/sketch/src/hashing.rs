@@ -70,6 +70,31 @@ impl PairwiseHash {
     pub fn range(&self) -> usize {
         self.range as usize
     }
+
+    /// The same hash function (identical coefficients) restricted to a
+    /// smaller output `range` that divides the current one.
+    ///
+    /// Because the function is `((a·x + b) mod p) mod range`, and for any
+    /// divisor `d` of `range` it holds that `(y mod range) mod d = y mod d`,
+    /// the restricted function satisfies
+    /// `restricted.hash(x) == self.hash(x) % d` for every key — the algebraic
+    /// fact the sketch width-folding (governor degradation) relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is zero or does not divide the current range.
+    pub fn with_range(&self, range: usize) -> Self {
+        assert!(range > 0, "hash range must be positive");
+        assert!(
+            self.range as usize % range == 0,
+            "new range must divide the current range"
+        );
+        PairwiseHash {
+            a: self.a,
+            b: self.b,
+            range: range as u64,
+        }
+    }
 }
 
 /// A ±1-valued pairwise-independent hash, used by the Count Sketch to decide
@@ -139,6 +164,14 @@ impl HashFamily {
     /// Iterates over the per-level bucket indices for `key`.
     pub fn indices<'a>(&'a self, key: u64) -> impl Iterator<Item = usize> + 'a {
         self.functions.iter().map(move |h| h.hash(key))
+    }
+
+    /// The same family with every function restricted to `range` (which must
+    /// divide each function's current range); see [`PairwiseHash::with_range`].
+    pub fn with_range(&self, range: usize) -> Self {
+        HashFamily {
+            functions: self.functions.iter().map(|h| h.with_range(range)).collect(),
+        }
     }
 }
 
@@ -239,5 +272,27 @@ mod tests {
     fn zero_range_panics() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = PairwiseHash::draw(0, &mut rng);
+    }
+
+    #[test]
+    fn restricted_range_is_the_modular_projection() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = PairwiseHash::draw(1024, &mut rng);
+        let folded = h.with_range(256);
+        for key in 0..5_000u64 {
+            assert_eq!(folded.hash(key), h.hash(key) % 256, "key {key}");
+        }
+        let fam = HashFamily::new(3, 512, 4).with_range(64);
+        assert_eq!(fam.depth(), 3);
+        for level in 0..3 {
+            assert_eq!(fam.function(level).range(), 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_divisor_restriction_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = PairwiseHash::draw(100, &mut rng).with_range(33);
     }
 }

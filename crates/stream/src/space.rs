@@ -151,18 +151,43 @@ impl SpaceReport {
     }
 
     /// Total bytes under the paper's accounting (Bloom bits rounded up to
-    /// whole bytes).
+    /// whole bytes). Saturating: a fleet-wide aggregate built with
+    /// [`SpaceReport::saturating_add`] can legitimately hold huge item
+    /// counts, and an overflowing total must read as "too big", never wrap
+    /// to a small number that would pass a budget check.
     pub fn total_bytes(&self) -> usize {
-        self.counters * BYTES_PER_BUCKET
-            + self.unique_buckets * 2 * BYTES_PER_BUCKET
-            + self.stored_ids * BYTES_PER_STORED_ID
-            + self.bloom_bits.div_ceil(8)
-            + self.auxiliary_bytes
+        self.counters
+            .saturating_mul(BYTES_PER_BUCKET)
+            .saturating_add(self.unique_buckets.saturating_mul(2 * BYTES_PER_BUCKET))
+            .saturating_add(self.stored_ids.saturating_mul(BYTES_PER_STORED_ID))
+            .saturating_add(self.bloom_bits.div_ceil(8))
+            .saturating_add(self.auxiliary_bytes)
     }
 
     /// Returns `true` if the report fits inside `budget`.
     pub fn fits(&self, budget: SpaceBudget) -> bool {
         self.total_bytes() <= budget.bytes()
+    }
+
+    /// Element-wise saturating sum of two reports — the aggregation primitive
+    /// a fleet-level memory governor uses to total thousands of per-tenant
+    /// reports. Saturates at `usize::MAX` per field instead of wrapping, so a
+    /// pathological aggregate fails a budget check rather than passing it.
+    pub fn saturating_add(&self, other: &SpaceReport) -> SpaceReport {
+        SpaceReport {
+            counters: self.counters.saturating_add(other.counters),
+            unique_buckets: self.unique_buckets.saturating_add(other.unique_buckets),
+            stored_ids: self.stored_ids.saturating_add(other.stored_ids),
+            bloom_bits: self.bloom_bits.saturating_add(other.bloom_bits),
+            auxiliary_bytes: self.auxiliary_bytes.saturating_add(other.auxiliary_bytes),
+        }
+    }
+
+    /// Saturating sum of an iterator of reports (fleet-wide totals).
+    pub fn saturating_sum<'a>(reports: impl IntoIterator<Item = &'a SpaceReport>) -> SpaceReport {
+        reports
+            .into_iter()
+            .fold(SpaceReport::new(), |acc, r| acc.saturating_add(r))
     }
 }
 
@@ -242,6 +267,68 @@ mod tests {
         assert_eq!(report.total_bytes(), 89);
         assert!(report.fits(SpaceBudget::from_bytes(89)));
         assert!(!report.fits(SpaceBudget::from_bytes(88)));
+    }
+
+    #[test]
+    fn saturating_add_sums_field_wise() {
+        let a = SpaceReport {
+            counters: 10,
+            unique_buckets: 1,
+            stored_ids: 2,
+            bloom_bits: 9,
+            auxiliary_bytes: 3,
+        };
+        let b = SpaceReport {
+            counters: 5,
+            unique_buckets: 4,
+            stored_ids: 1,
+            bloom_bits: 7,
+            auxiliary_bytes: 0,
+        };
+        let sum = a.saturating_add(&b);
+        assert_eq!(sum.counters, 15);
+        assert_eq!(sum.unique_buckets, 5);
+        assert_eq!(sum.stored_ids, 3);
+        assert_eq!(sum.bloom_bits, 16);
+        assert_eq!(sum.auxiliary_bytes, 3);
+        // Identity element.
+        assert_eq!(a.saturating_add(&SpaceReport::new()), a);
+    }
+
+    #[test]
+    fn saturating_sum_totals_a_fleet() {
+        let per_tenant = SpaceReport {
+            counters: 1000,
+            ..SpaceReport::default()
+        };
+        let fleet: Vec<SpaceReport> = (0..1_000).map(|_| per_tenant.clone()).collect();
+        let total = SpaceReport::saturating_sum(&fleet);
+        assert_eq!(total.counters, 1_000_000);
+        assert_eq!(total.total_bytes(), 4_000_000);
+        assert_eq!(
+            SpaceReport::saturating_sum(std::iter::empty()),
+            SpaceReport::new()
+        );
+    }
+
+    #[test]
+    fn aggregation_saturates_instead_of_wrapping() {
+        let huge = SpaceReport {
+            counters: usize::MAX - 1,
+            unique_buckets: usize::MAX,
+            stored_ids: 3,
+            bloom_bits: usize::MAX,
+            auxiliary_bytes: usize::MAX,
+        };
+        let sum = huge.saturating_add(&huge);
+        assert_eq!(sum.counters, usize::MAX);
+        assert_eq!(sum.unique_buckets, usize::MAX);
+        assert_eq!(sum.stored_ids, 6);
+        assert_eq!(sum.bloom_bits, usize::MAX);
+        // An overflowing total reads as "too big" (saturated), so it can
+        // never sneak under a budget check by wrapping.
+        assert_eq!(sum.total_bytes(), usize::MAX);
+        assert!(!sum.fits(SpaceBudget::from_bytes(usize::MAX - 1)));
     }
 
     #[test]

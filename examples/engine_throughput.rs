@@ -7,16 +7,16 @@
 //! perf trajectory across PRs.
 //!
 //! Run with: `cargo run --release --example engine_throughput`
+//! (optionally `-- [--arrivals N] [--universe N] [--shards N]`; the
+//! defaults reproduce the historical fixed configuration, so trajectory
+//! numbers stay comparable across PRs).
 
 use opthash_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-const UNIVERSE: usize = 100_000;
-const ARRIVALS: usize = 1_000_000;
 const EXPONENT: f64 = 1.3;
-const SHARDS: usize = 4;
 const BATCH: usize = 16_384;
 const QUERY_PROBES: usize = 20_000;
 /// Ingest passes per configuration; the best is reported, so one-off
@@ -24,8 +24,52 @@ const QUERY_PROBES: usize = 20_000;
 /// the trajectory file.
 const TRIALS: usize = 3;
 
-fn zipf_elements(n: usize, seed: u64) -> Vec<StreamElement> {
-    let sampler = opthash_repro::datagen::ZipfSampler::new(UNIVERSE, EXPONENT);
+/// Workload knobs, overridable from the command line.
+#[derive(Clone, Copy)]
+struct Args {
+    arrivals: usize,
+    universe: usize,
+    shards: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        // The historical constants: 1M Zipf(1.3) arrivals over a 100k
+        // universe through 4 shards.
+        Args {
+            arrivals: 1_000_000,
+            universe: 100_000,
+            shards: 4,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| -> Result<usize, String> {
+            argv.next()
+                .ok_or_else(|| format!("{flag} expects a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match flag.as_str() {
+            "--arrivals" => args.arrivals = value("--arrivals")?.max(1),
+            "--universe" => args.universe = value("--universe")?.max(1),
+            "--shards" => args.shards = value("--shards")?.max(1),
+            "--help" | "-h" => {
+                println!("usage: engine_throughput [--arrivals N] [--universe N] [--shards N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn zipf_elements(universe: usize, n: usize, seed: u64) -> Vec<StreamElement> {
+    let sampler = opthash_repro::datagen::ZipfSampler::new(universe, EXPONENT);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| StreamElement::without_features(sampler.sample(&mut rng) as u64))
@@ -63,6 +107,7 @@ fn query_percentiles(
 fn engine_measurement(
     name: &'static str,
     mode: IngestMode,
+    args: Args,
     elements: &[StreamElement],
     probes: &[StreamElement],
     sequential: &CountMinSketch,
@@ -74,7 +119,7 @@ fn engine_measurement(
         let start = Instant::now();
         let mut trial = IngestEngine::new(
             CountMinSketch::new(8_192, 4, 1),
-            EngineConfig::with_shards(SHARDS)
+            EngineConfig::with_shards(args.shards)
                 .batch_capacity(BATCH)
                 .mode(mode),
         );
@@ -102,7 +147,7 @@ fn engine_measurement(
     let (p50, p99) = query_percentiles(probes, |probe| engine.query(probe).expect("query"));
     Measurement {
         name,
-        ingest_melem_per_s: ARRIVALS as f64 / ingest_secs / 1e6,
+        ingest_melem_per_s: args.arrivals as f64 / ingest_secs / 1e6,
         speedup_vs_single_thread: baseline_secs / ingest_secs,
         query_p50_ns: p50,
         query_p99_ns: p99,
@@ -110,18 +155,18 @@ fn engine_measurement(
     }
 }
 
-fn write_json(measurements: &[Measurement]) -> String {
+fn write_json(args: Args, measurements: &[Measurement]) -> String {
     // Hand-formatted JSON: the workspace deliberately vendors no JSON
     // serializer, and the schema is flat enough that formatting beats a
     // dependency.
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"engine_throughput\",\n");
-    out.push_str(&format!("  \"arrivals\": {ARRIVALS},\n"));
-    out.push_str(&format!("  \"universe\": {UNIVERSE},\n"));
+    out.push_str(&format!("  \"arrivals\": {},\n", args.arrivals));
+    out.push_str(&format!("  \"universe\": {},\n", args.universe));
     out.push_str(&format!("  \"zipf_exponent\": {EXPONENT},\n"));
     out.push_str("  \"backend\": \"count-min 8192x4\",\n");
-    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"shards\": {},\n", args.shards));
     out.push_str(&format!("  \"batch_capacity\": {BATCH},\n"));
     out.push_str("  \"configs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -152,9 +197,19 @@ fn write_json(measurements: &[Measurement]) -> String {
 }
 
 fn main() {
-    println!("generating {ARRIVALS} Zipf({EXPONENT}) arrivals over {UNIVERSE} elements...");
-    let elements = zipf_elements(ARRIVALS, 7);
-    let probes = zipf_elements(QUERY_PROBES, 8);
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "generating {} Zipf({EXPONENT}) arrivals over {} elements...",
+        args.arrivals, args.universe
+    );
+    let elements = zipf_elements(args.universe, args.arrivals, 7);
+    let probes = zipf_elements(args.universe, QUERY_PROBES, 8);
 
     // --- single-threaded update loop (the pre-engine baseline) -----------
     let mut baseline_secs = f64::INFINITY;
@@ -172,7 +227,7 @@ fn main() {
         query_percentiles(&probes, |probe| SketchBackend::query(&sequential, probe));
     let mut measurements = vec![Measurement {
         name: "single_thread",
-        ingest_melem_per_s: ARRIVALS as f64 / baseline_secs / 1e6,
+        ingest_melem_per_s: args.arrivals as f64 / baseline_secs / 1e6,
         speedup_vs_single_thread: 1.0,
         query_p50_ns: base_p50,
         query_p99_ns: base_p99,
@@ -183,6 +238,7 @@ fn main() {
     measurements.push(engine_measurement(
         "inline_flush_engine",
         IngestMode::Inline,
+        args,
         &elements,
         &probes,
         &sequential,
@@ -191,6 +247,7 @@ fn main() {
     measurements.push(engine_measurement(
         "worker_engine",
         IngestMode::Workers,
+        args,
         &elements,
         &probes,
         &sequential,
@@ -210,7 +267,7 @@ fn main() {
         );
     }
 
-    let json = write_json(&measurements);
+    let json = write_json(args, &measurements);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
 }

@@ -22,6 +22,7 @@ pub use opthash;
 pub use opthash_datagen as datagen;
 pub use opthash_engine as engine;
 pub use opthash_ml as ml;
+pub use opthash_registry as registry;
 pub use opthash_sketch as sketch;
 pub use opthash_solver as solver;
 pub use opthash_stream as stream;
@@ -42,6 +43,10 @@ pub mod prelude {
     #[cfg(feature = "failpoints")]
     pub use opthash_engine::{FaultAction, FaultPlan};
     pub use opthash_ml::ClassifierKind;
+    pub use opthash_registry::{
+        BackendSpec, GovernorOutcome, RegistryConfig, RegistryError, RegistryStats, SketchRegistry,
+        SketchServer, TenantId, TenantReport,
+    };
     pub use opthash_sketch::{
         BloomFilter, CountMinSketch, CountSketch, LearnedCountMin, MisraGries,
     };

@@ -1,0 +1,154 @@
+//! Loopback smoke test of the line-protocol server: spawns a real TCP
+//! server on an OS-assigned port, drives the full command grammar over a
+//! socket like any external client would, and verifies clean shutdown
+//! (every server thread joined, no lingering listeners).
+
+use opthash_repro::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A tiny line-oriented client.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send command");
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .expect("read response line");
+        assert!(
+            response.ends_with('\n'),
+            "every response is one full line, got {response:?}"
+        );
+        response.trim_end().to_owned()
+    }
+}
+
+#[test]
+fn full_protocol_over_loopback() {
+    let registry = SketchRegistry::with_budget(SpaceBudget::from_kb(64.0));
+    let server = SketchServer::bind("127.0.0.1:0", registry).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr());
+
+    assert_eq!(client.send("PING"), "OK pong");
+
+    // CREATE all three backend kinds, one of them sharded.
+    assert_eq!(client.send("CREATE flows count-min:256x4"), "OK t0");
+    assert_eq!(
+        client.send("CREATE queries count-sketch:128x4 sharded:2"),
+        "OK t1"
+    );
+    assert_eq!(client.send("CREATE heavy misra-gries:64"), "OK t2");
+    assert!(client
+        .send("CREATE flows count-min")
+        .starts_with("ERR tenant 'flows'"));
+
+    // ADD / QUERY round-trips, weighted and unweighted.
+    assert_eq!(client.send("ADD flows 42"), "OK");
+    assert_eq!(client.send("ADD flows 42 9"), "OK");
+    assert_eq!(client.send("QUERY flows 42"), "OK 10");
+    assert_eq!(client.send("QUERY flows 999"), "OK 0");
+    assert_eq!(client.send("ADD queries 7 3"), "OK");
+    assert_eq!(client.send("QUERY queries 7"), "OK 3");
+    assert_eq!(client.send("ADD heavy 5 4"), "OK");
+    assert_eq!(client.send("QUERY heavy 5"), "OK 4");
+
+    // Typed errors surface as ERR lines.
+    assert!(client
+        .send("QUERY ghost 1")
+        .starts_with("ERR unknown tenant"));
+    assert!(client.send("ADD flows 1 0").starts_with("ERR engine error"));
+    assert!(client.send("FROBNICATE").starts_with("ERR unknown command"));
+    assert!(client
+        .send("CREATE t bloom:9")
+        .starts_with("ERR invalid backend spec"));
+
+    // STATS reflect everything above, including the conservation audit.
+    let stats = client.send("STATS");
+    assert!(stats.starts_with("OK tenants=3 "), "{stats}");
+    assert!(stats.contains("mass=17"), "{stats}");
+    assert!(stats.contains("unaccounted=0"), "{stats}");
+    let tenant_stats = client.send("STATS flows");
+    assert!(tenant_stats.contains("backend=count-min"), "{tenant_stats}");
+    assert!(tenant_stats.contains("mass=10"), "{tenant_stats}");
+
+    // DROP removes the tenant for every later command.
+    assert_eq!(client.send("DROP heavy"), "OK t2");
+    assert!(client
+        .send("QUERY heavy 5")
+        .starts_with("ERR unknown tenant"));
+
+    // A second concurrent connection sees the same registry.
+    let mut second = Client::connect(server.local_addr());
+    assert_eq!(second.send("QUERY flows 42"), "OK 10");
+    assert_eq!(second.send("QUIT"), "OK bye");
+
+    assert_eq!(client.send("QUIT"), "OK bye");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_releases_the_port() {
+    let server = SketchServer::bind("127.0.0.1:0", SketchRegistry::unbounded()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    assert_eq!(client.send("PING"), "OK pong");
+    // Shut down with the client still connected: shutdown must join the
+    // handler (which notices the stop flag within its read poll) rather
+    // than hang or leak the thread.
+    server.shutdown();
+    // The listener is gone: a fresh bind to the same port succeeds.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "port must be released after shutdown");
+}
+
+#[test]
+fn embedded_ingest_and_network_queries_share_state() {
+    let server = SketchServer::bind("127.0.0.1:0", SketchRegistry::unbounded()).expect("bind");
+    {
+        let registry = server.registry();
+        let mut registry = registry.lock().expect("registry lock");
+        registry
+            .create(
+                "local",
+                BackendSpec::CountMin {
+                    width: 128,
+                    depth: 4,
+                },
+            )
+            .expect("create tenant");
+        for _ in 0..6 {
+            registry
+                .ingest("local", &StreamElement::without_features(11u64))
+                .expect("local ingest");
+        }
+    }
+    let mut client = Client::connect(server.local_addr());
+    assert_eq!(client.send("QUERY local 11"), "OK 6");
+    assert_eq!(client.send("ADD local 11"), "OK");
+    {
+        let registry = server.registry();
+        let mut registry = registry.lock().expect("registry lock");
+        let estimate = registry
+            .query("local", &StreamElement::without_features(11u64))
+            .expect("local query");
+        assert_eq!(estimate, 7.0);
+    }
+    server.shutdown();
+}
