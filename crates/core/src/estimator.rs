@@ -36,6 +36,50 @@ pub struct OptHash {
 impl OptHash {
     /// Learns the hashing scheme and the classifier from an observed prefix.
     pub fn train(config: OptHashConfig, prefix: &StreamPrefix) -> Self {
+        Self::build(config, prefix, None)
+    }
+
+    /// Re-learns the scheme on a refreshed prefix (typically the sliding
+    /// window of recent arrivals maintained by the engine's re-trainer),
+    /// keeping this estimator's configuration. When the solver is BCD with
+    /// [`opthash_solver::BcdConfig::warm_start`] set, restart 0 descends from
+    /// this estimator's incumbent assignment mapped onto the new prefix —
+    /// stored elements keep their bucket, new elements start in the bucket
+    /// whose current average is nearest their observed frequency — which is
+    /// what makes successive closely-related solves cheap. The classifier is
+    /// retrained on the refreshed assignment, so routing of unseen elements
+    /// tracks the new scheme too.
+    pub fn retrain(&self, prefix: &StreamPrefix) -> Self {
+        Self::build(self.config, prefix, Some(self))
+    }
+
+    /// Maps this estimator's incumbent assignment onto a (possibly new)
+    /// prefix: stored elements reuse their learned bucket, unseen elements
+    /// get the bucket whose current average frequency is closest to their
+    /// observed prefix frequency.
+    fn warm_assignment(&self, prefix: &StreamPrefix) -> Vec<usize> {
+        let buckets = self.config.buckets;
+        prefix
+            .elements()
+            .iter()
+            .enumerate()
+            .map(|(i, element)| match self.table.get(&element.id) {
+                Some(&bucket) => bucket.min(buckets - 1),
+                None => {
+                    let frequency = prefix.frequencies()[i] as f64;
+                    (0..buckets)
+                        .min_by(|&a, &b| {
+                            let da = (self.bucket_average(a) - frequency).abs();
+                            let db = (self.bucket_average(b) - frequency).abs();
+                            da.partial_cmp(&db).unwrap()
+                        })
+                        .unwrap_or(0)
+                }
+            })
+            .collect()
+    }
+
+    fn build(config: OptHashConfig, prefix: &StreamPrefix, incumbent: Option<&OptHash>) -> Self {
         config.validate();
         assert!(prefix.distinct_len() > 0, "cannot train on an empty prefix");
         let total_start = Instant::now();
@@ -67,7 +111,15 @@ impl OptHash {
         );
         let solver_start = Instant::now();
         let solution = match config.solver {
-            SolverKind::Bcd(bcd_config) => BcdSolver::new(bcd_config).solve(&problem),
+            SolverKind::Bcd(bcd_config) => {
+                let solver = BcdSolver::new(bcd_config);
+                match incumbent.filter(|_| bcd_config.warm_start) {
+                    Some(previous) => {
+                        solver.solve_from(&problem, &previous.warm_assignment(prefix))
+                    }
+                    None => solver.solve(&problem),
+                }
+            }
             SolverKind::Dp => kmedian::solve_frequency_only(&problem),
             SolverKind::Exact(exact_config) => ExactSolver::new(exact_config).solve(&problem),
         };
@@ -506,6 +558,55 @@ mod tests {
                 "bucket {bucket} diverged"
             );
         }
+    }
+
+    /// The grouped prefix after drift: element 5 is now hot, 0 stays warm,
+    /// and an unseen element 9 has appeared cold.
+    fn drifted_prefix() -> StreamPrefix {
+        let mut arrivals = Vec::new();
+        for _ in 0..40 {
+            arrivals.push(StreamElement::new(5u64, vec![10.5, 10.0]));
+        }
+        for _ in 0..10 {
+            arrivals.push(StreamElement::new(0u64, vec![0.0, 0.1]));
+        }
+        for id in [1u64, 2, 9] {
+            arrivals.push(StreamElement::new(id, vec![10.0, 10.0]));
+        }
+        StreamPrefix::from_stream(Stream::from_arrivals(arrivals))
+    }
+
+    #[test]
+    fn retrain_warm_starts_and_tracks_the_new_distribution() {
+        let est = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Bcd(BcdConfig::default().with_warm_start()))
+            .train(&grouped_prefix());
+        assert!(!est.solution().stats.warm_started, "initial train is cold");
+
+        let retrained = est.retrain(&drifted_prefix());
+        assert!(retrained.solution().stats.warm_started);
+        assert_eq!(retrained.buckets(), est.buckets());
+        // The new scheme's counters are seeded from the refreshed prefix, so
+        // the now-hot element estimates high and newly-seen 9 is stored.
+        let hot = retrained.estimate(&StreamElement::new(5u64, vec![10.5, 10.0]));
+        let cold = retrained.estimate(&StreamElement::new(9u64, vec![10.0, 10.0]));
+        assert!(hot > cold, "hot {hot} vs cold {cold}");
+        assert!(retrained.is_stored(ElementId(9)));
+        assert!(
+            (hot - 40.0).abs() < 1e-9,
+            "hot bucket isolates element 5: {hot}"
+        );
+    }
+
+    #[test]
+    fn retrain_without_warm_start_flag_stays_cold() {
+        let est = OptHashBuilder::new(2)
+            .lambda(1.0)
+            .solver(SolverKind::Bcd(BcdConfig::default()))
+            .train(&grouped_prefix());
+        let retrained = est.retrain(&drifted_prefix());
+        assert!(!retrained.solution().stats.warm_started);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`tenants`] — mixed multi-tenant serving workloads that combine the
 //!   generators above and skew traffic across tenants, for exercising the
 //!   registry's memory-budget governor.
+//! * [`drift`] — rotating-Zipf drifting workloads with a controllable drift
+//!   rate, for exercising online re-training.
 //! * [`zipf`] — the shared Zipf sampler.
 //!
 //! All generators are deterministic given their seed, so every experiment in
@@ -38,12 +40,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod drift;
 pub mod groups;
 pub mod querylog;
 pub mod tenants;
 pub mod trace;
 pub mod zipf;
 
+pub use drift::{DriftConfig, DriftingWorkload};
 pub use groups::{GroupConfig, GroupDataset};
 pub use querylog::{QueryLogConfig, QueryLogDataset};
 pub use tenants::{MixedTenantConfig, MixedTenantWorkload, TenantArrival, TenantClass};

@@ -162,7 +162,19 @@ impl MixedTenantWorkload {
     /// config seed: tenant drawn from the cross-tenant Zipf law, element
     /// drawn from the tenant's class distribution.
     pub fn arrivals(&self, arrivals: usize) -> impl Iterator<Item = TenantArrival> + '_ {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.arrivals_from(arrivals, self.config.seed)
+    }
+
+    /// Like [`MixedTenantWorkload::arrivals`] but drawing from an explicit
+    /// stream seed, so tests and continuations can generate independent,
+    /// individually reproducible traffic segments from one workload — no
+    /// shared RNG state, no `--test-threads=1` required.
+    pub fn arrivals_from(
+        &self,
+        arrivals: usize,
+        stream_seed: u64,
+    ) -> impl Iterator<Item = TenantArrival> + '_ {
+        let mut rng = StdRng::seed_from_u64(stream_seed);
         (0..arrivals).map(move |_| {
             let tenant = self.tenant_sampler.sample(&mut rng);
             let id = match self.class_of(tenant) {
@@ -191,6 +203,14 @@ mod tests {
         let first: Vec<TenantArrival> = workload.arrivals(2_000).collect();
         let again: Vec<TenantArrival> = workload.arrivals(2_000).collect();
         assert_eq!(first, again, "same seed, same traffic");
+        // An explicit stream seed equal to the config seed reproduces the
+        // default traffic; a different one produces an independent segment.
+        let explicit: Vec<TenantArrival> = workload
+            .arrivals_from(2_000, workload.config().seed)
+            .collect();
+        assert_eq!(first, explicit);
+        let segment: Vec<TenantArrival> = workload.arrivals_from(2_000, 12345).collect();
+        assert_ne!(first, segment, "different stream seed, different traffic");
         assert!(first.iter().all(|a| a.tenant < 12));
         // All three classes receive traffic.
         for class in TenantClass::ALL {

@@ -55,7 +55,12 @@ use opthash_stream::{FrequencyEstimator, SpaceReport, StreamElement};
 /// needs for the exactness statement above to survive a restart. Every
 /// estimator in the workspace is a plain bundle of counters and learned
 /// structure, so `Clone` is derivable and costs `O(state size)`.
-pub trait SketchBackend: Send + Clone {
+///
+/// `Sync` is required because a scheme hot-swap
+/// ([`crate::IngestEngine::swap_backend`]) shares one immutable new base
+/// across every shard's channel by `Arc` until each worker has re-forked
+/// from it; plain counter bundles are `Sync` automatically.
+pub trait SketchBackend: Send + Sync + Clone {
     /// Applies `count` occurrences of `element`.
     ///
     /// Complexity: `O(depth)` hash-and-increment for the sketches, `O(1)`

@@ -495,6 +495,8 @@ pub struct IngestEngine<B: SketchBackend> {
     mass: MassLedger,
     zero_weight_rejections: u64,
     flushes: u64,
+    /// Number of completed [`IngestEngine::swap_backend`] scheme swaps.
+    scheme_version: u64,
     dirty: bool,
     faults: FaultInjector,
     fault_log: SharedFaultLog,
@@ -563,6 +565,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             mass: MassLedger::default(),
             zero_weight_rejections: 0,
             flushes: 0,
+            scheme_version: 0,
             dirty: false,
             faults,
             fault_log,
@@ -1177,6 +1180,126 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
         match first_err {
             Some(err) => Err(err),
             None => Ok(()),
+        }
+    }
+
+    /// How many scheme hot-swaps ([`IngestEngine::swap_backend`]) this
+    /// engine has completed. Version 0 is the backend the engine was built
+    /// with.
+    pub fn scheme_version(&self) -> u64 {
+        self.scheme_version
+    }
+
+    /// Atomically replaces the engine's backend with `new_base` and returns
+    /// the **retired** backend holding every count admitted under the old
+    /// scheme — the online re-training hot-swap.
+    ///
+    /// In worker mode no thread is stalled, stopped, or restarted: pending
+    /// buffers are dispatched with blocking semantics (a swap never sheds
+    /// load), then each shard is handed a swap request that its worker picks
+    /// up as the next queue event after draining its batches. The worker
+    /// retires its scratch delta — migrated out through the same
+    /// [`SketchBackend::fork`]/[`SketchBackend::merge`] machinery checkpoints
+    /// use — and re-forks from the new base; the retired per-shard deltas
+    /// are merged into the old base, which is returned. A worker that dies
+    /// mid-swap is re-forked by the supervisor and redoes the still-pending
+    /// request, so the swap completes exactly once per shard.
+    ///
+    /// The conservation ledgers are untouched: admitted mass was either
+    /// applied (it leaves inside the returned backend), quarantined, or
+    /// still buffered/queued — none of which the swap changes — so
+    /// [`EngineStats::unaccounted_mass`] stays 0 across every swap.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardPoisoned`] if a shard's state is unrecoverable;
+    /// healthy shards still complete the swap, but the retired backend is
+    /// withheld because it would under-count the poisoned shard's delta.
+    pub fn swap_backend(&mut self, new_base: B) -> Result<B, EngineError> {
+        self.merged = None;
+        let mut first_err = None;
+        match self.config.mode {
+            IngestMode::Inline => {
+                if let Err(err) = self.flush() {
+                    first_err.get_or_insert(err);
+                }
+                let ModeState::Inline {
+                    shards, poisoned, ..
+                } = &mut self.mode
+                else {
+                    unreachable!("mode cannot change")
+                };
+                let mut retired = std::mem::replace(&mut self.base, new_base);
+                for (shard, backend) in shards.iter_mut().enumerate() {
+                    if poisoned[shard] {
+                        first_err.get_or_insert(EngineError::ShardPoisoned { shard });
+                        continue;
+                    }
+                    retired.merge(backend);
+                    *backend = self.base.fork();
+                }
+                self.scheme_version += 1;
+                match first_err {
+                    Some(err) => Err(err),
+                    None => Ok(retired),
+                }
+            }
+            IngestMode::Workers => {
+                for shard in 0..self.buffers.len() {
+                    if !self.buffers[shard].is_empty() {
+                        if let Err(err) = self.dispatch(shard, true) {
+                            first_err.get_or_insert(err);
+                        }
+                    }
+                }
+                // Publish the new scheme to every shard, then wait for each
+                // worker to retire its delta, supervising while waiting so
+                // a worker that dies mid-swap is re-forked to redo it.
+                let fresh = new_base.clone();
+                let shared = Arc::new(new_base);
+                let cells: Vec<Arc<ShardChannel<B>>> = {
+                    let ModeState::Workers { handles } = &self.mode else {
+                        unreachable!("mode cannot change")
+                    };
+                    handles
+                        .iter()
+                        .map(|handle| Arc::clone(&handle.cell))
+                        .collect()
+                };
+                for cell in &cells {
+                    cell.request_swap(Arc::clone(&shared));
+                }
+                for (shard, cell) in cells.iter().enumerate() {
+                    loop {
+                        let (done, poisoned) = cell.wait_swap(SUPERVISE_TICK);
+                        if poisoned {
+                            self.supervise();
+                            first_err.get_or_insert(EngineError::ShardPoisoned { shard });
+                            break;
+                        }
+                        if done {
+                            break;
+                        }
+                        self.supervise();
+                    }
+                }
+                let mut retired = std::mem::replace(&mut self.base, fresh);
+                for cell in &cells {
+                    if let Some(delta) = cell.take_retired() {
+                        retired.merge(&delta);
+                    }
+                }
+                self.scheme_version += 1;
+                // Every admitted arrival is either applied (inside the
+                // retired backend), quarantined, or was just re-forked away
+                // — the fresh snapshots cover all future state, so no flush
+                // is pending.
+                self.dirty = false;
+                match first_err {
+                    Some(err) => Err(err),
+                    None => Ok(retired),
+                }
+            }
         }
     }
 

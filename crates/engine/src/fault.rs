@@ -19,6 +19,7 @@
 //! | `worker::apply`         | before every single update of a batch        |
 //! | `worker::before_commit` | after a batch applied, before it is recorded |
 //! | `worker::checkpoint`    | inside the snapshot-swap critical section    |
+//! | `worker::swap`          | on a hot-swap request, before any mutation   |
 //!
 //! A panic at `worker::poll` or `worker::before_commit` kills the worker
 //! thread (exercising supervisor restart + queue replay); a panic at
@@ -26,7 +27,12 @@
 //! quarantine; a panic at `worker::checkpoint` poisons the shard
 //! (exercising the typed [`crate::EngineError::ShardPoisoned`] query path);
 //! a delay at `worker::batch` throttles a shard's drain rate (exercising
-//! backpressure). Without the feature every hook compiles to nothing.
+//! backpressure); a panic at `worker::swap` kills the worker *during a
+//! scheme hot-swap* with the swap request still pending — the supervisor's
+//! replacement worker rebuilds the pre-swap scratch and redoes the swap,
+//! exercising the exactly-once publish protocol of
+//! [`crate::IngestEngine::swap_backend`]. Without the feature every hook
+//! compiles to nothing.
 //!
 //! The injector is **engine-scoped**, not process-global: every engine owns
 //! its own registry (shared with its workers), so concurrently running

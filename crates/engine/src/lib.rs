@@ -48,6 +48,41 @@
 //!   error deterministically; see [`fault`] for the failpoint table. The
 //!   feature costs nothing when disabled.
 //!
+//! ## Online re-training
+//!
+//! Backends can be replaced *while the engine runs*:
+//! [`IngestEngine::swap_backend`] drains every shard, retires each shard's
+//! accumulated delta through the fork/merge machinery (the retired base —
+//! with every count it absorbed — is returned to the caller) and re-forks
+//! every shard from the new base, without stopping a single worker thread
+//! and without losing a unit of mass. [`Retrainer`] builds the full
+//! re-training loop on top for [`opthash::OptHash`]: a sliding window of
+//! recent arrivals, periodic warm-started re-solves (by default on a
+//! background thread), and versioned [`TrainedScheme`] publication.
+//!
+//! ```
+//! use opthash_engine::{EngineConfig, IngestEngine};
+//! use opthash_sketch::CountMinSketch;
+//! use opthash_stream::StreamElement;
+//!
+//! let mut engine = IngestEngine::new(
+//!     CountMinSketch::new(1024, 4, 7),
+//!     EngineConfig::with_shards(4),
+//! );
+//! for id in 0..1_000u64 {
+//!     engine.ingest(&StreamElement::without_features(id % 10))?;
+//! }
+//! // Hot-swap in a wider sketch mid-stream. The old sketch comes back
+//! // holding all 1_000 arrivals; the engine continues on the new one.
+//! let retired = engine.swap_backend(CountMinSketch::new(4096, 4, 11))?;
+//! assert_eq!(retired.query(5u64.into()), 100);
+//! assert_eq!(engine.scheme_version(), 1);
+//! engine.ingest(&StreamElement::without_features(5u64))?;
+//! assert_eq!(engine.query(&StreamElement::without_features(5u64))?, 1.0);
+//! assert_eq!(engine.stats().unaccounted_mass(), 0);
+//! # Ok::<(), opthash_engine::EngineError>(())
+//! ```
+//!
 //! ```
 //! use opthash_engine::{EngineConfig, IngestEngine};
 //! use opthash_sketch::CountMinSketch;
@@ -73,6 +108,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 mod queue;
+pub mod retrain;
 mod worker;
 
 pub use backend::SketchBackend;
@@ -81,3 +117,4 @@ pub use error::EngineError;
 #[cfg(feature = "failpoints")]
 pub use fault::{FaultAction, FaultPlan};
 pub use fault::{FaultEvent, FaultInjector, FaultLog};
+pub use retrain::{RetrainConfig, RetrainStats, Retrainer, TrainedScheme};

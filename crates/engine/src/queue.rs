@@ -90,14 +90,26 @@ pub(crate) struct ChannelInner<B> {
     pub sync_epoch: u64,
     /// Latest sync barrier the worker has checkpointed for.
     pub acked_epoch: u64,
+    /// Pending scheme hot-swap: the new base backend the worker re-forks
+    /// its scratch state from once its queue is drained. Left in place until
+    /// [`ShardChannel::complete_swap`], so a worker that dies mid-swap is
+    /// simply redone by its replacement.
+    pub swap_request: Option<Arc<B>>,
+    /// The retired pre-swap shard delta published by the last completed
+    /// swap, awaiting collection by the engine.
+    pub retired: Option<B>,
     pub closed: bool,
     pub poisoned: bool,
 }
 
 /// What the worker should do next (see [`ShardChannel::next_event`]).
-pub(crate) enum WorkerEvent {
+pub(crate) enum WorkerEvent<B> {
     /// Apply this batch (already marked inflight).
     Batch(QueuedBatch),
+    /// Queue is drained and a scheme swap is pending: retire the scratch
+    /// state and re-fork it from this base, then
+    /// [`ShardChannel::complete_swap`].
+    Swap(Arc<B>),
     /// Queue is drained and a sync barrier is pending: checkpoint and ack
     /// the given epoch.
     Sync(u64),
@@ -137,6 +149,8 @@ impl<B: SketchBackend> ShardChannel<B> {
                 counters: ShardCounters::default(),
                 sync_epoch: 0,
                 acked_epoch: 0,
+                swap_request: None,
+                retired: None,
                 closed: false,
                 poisoned: false,
             }),
@@ -235,6 +249,40 @@ impl<B: SketchBackend> ShardChannel<B> {
         (inner.acked_epoch >= epoch, inner.poisoned)
     }
 
+    /// Requests a scheme hot-swap: once the worker drains its queue it will
+    /// retire its scratch delta and re-fork from `base`. The request stays
+    /// set until the worker completes it, so a worker death mid-swap is
+    /// redone by the replacement worker (exactly-once via `snapshot ⊕
+    /// journal`, which the swap only clears atomically on completion).
+    pub fn request_swap(&self, base: Arc<B>) {
+        let mut inner = self.lock_always();
+        inner.swap_request = Some(base);
+        drop(inner);
+        self.work.notify_one();
+    }
+
+    /// Waits until the pending swap completes (or the shard is poisoned),
+    /// up to `timeout`. Returns `(done, poisoned)`; see
+    /// [`ShardChannel::wait_space`] for the no-lost-wake-up guarantee.
+    pub fn wait_swap(&self, timeout: Duration) -> (bool, bool) {
+        let mut inner = self.lock_always();
+        if inner.swap_request.is_none() || inner.poisoned {
+            return (inner.swap_request.is_none(), inner.poisoned);
+        }
+        inner = self
+            .progress
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+        (inner.swap_request.is_none(), inner.poisoned)
+    }
+
+    /// Collects the retired pre-swap delta published by the last completed
+    /// swap.
+    pub fn take_retired(&self) -> Option<B> {
+        self.lock_always().retired.take()
+    }
+
     /// Closes the channel: the worker drains the remaining queue, publishes
     /// its scratch state via [`ShardChannel::publish_exit`], and exits.
     pub fn close(&self) {
@@ -255,7 +303,7 @@ impl<B: SketchBackend> ShardChannel<B> {
     /// inflight is atomic, and a sync barrier is only surfaced once the
     /// queue is empty, so a completed barrier proves the snapshot covers
     /// every batch dispatched before it.
-    pub fn next_event(&self) -> WorkerEvent {
+    pub fn next_event(&self) -> WorkerEvent<B> {
         let mut inner = self.lock_always();
         loop {
             // Queued batches outrank shutdown: a closed channel is drained
@@ -266,6 +314,12 @@ impl<B: SketchBackend> ShardChannel<B> {
                 drop(inner);
                 self.progress.notify_all();
                 return WorkerEvent::Batch(batch);
+            }
+            // A pending swap is surfaced by *peeking* — it stays requested
+            // until `complete_swap`, so a worker that dies between here and
+            // completion hands the still-pending swap to its replacement.
+            if let Some(base) = inner.swap_request.as_ref() {
+                return WorkerEvent::Swap(Arc::clone(base));
             }
             if inner.closed {
                 return WorkerEvent::Shutdown;
@@ -340,6 +394,22 @@ impl<B: SketchBackend> ShardChannel<B> {
         if let Some(epoch) = epoch {
             inner.acked_epoch = epoch;
         }
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// Completes a pending scheme swap in one critical section: the shard's
+    /// recovery state becomes `fresh` (the worker's new scratch, a fork of
+    /// the swapped-in base) with an empty journal, the pre-swap delta is
+    /// parked for the engine to collect, and the request is cleared. Until
+    /// this commits, recovery still reconstructs the *old* scratch — so the
+    /// swap is atomic with respect to worker death.
+    pub fn complete_swap(&self, fresh: B, retired: B) {
+        let mut inner = self.lock_always();
+        inner.snapshot = fresh;
+        inner.journal.clear();
+        inner.retired = Some(retired);
+        inner.swap_request = None;
         drop(inner);
         self.progress.notify_all();
     }

@@ -138,6 +138,17 @@ fn run_worker<B: SketchBackend>(
                 cell.publish_exit(scratch);
                 return;
             }
+            WorkerEvent::Swap(new_base) => {
+                // A panic here (the `worker::swap` failpoint) escapes the
+                // loop and kills the worker *before* anything changed: the
+                // request is still pending, so the supervisor's replacement
+                // worker rebuilds the old scratch and redoes the swap.
+                faults.hit_at("worker::swap", Some(shard));
+                let fresh = new_base.fork();
+                let retired = std::mem::replace(&mut scratch, fresh);
+                cell.complete_swap(scratch.clone(), retired);
+                since_checkpoint = 0;
+            }
             WorkerEvent::Sync(epoch) => {
                 let snapshot = scratch.clone();
                 cell.checkpoint(snapshot, Some(epoch), || {

@@ -50,6 +50,13 @@ pub struct BcdConfig {
     pub restarts: usize,
     /// RNG seed (restart `r` uses `seed + r`).
     pub seed: u64,
+    /// Request warm-starting from an incumbent assignment where one is
+    /// available: callers that hold a previous [`HashingSolution`] (the
+    /// online re-trainer in `opthash-engine`) route through
+    /// [`BcdSolver::solve_warm`] when this is set, seeding restart 0 with the
+    /// incumbent instead of the configured [`InitStrategy`]. Plain
+    /// [`BcdSolver::solve`] ignores the flag (it has no incumbent).
+    pub warm_start: bool,
 }
 
 impl Default for BcdConfig {
@@ -60,7 +67,16 @@ impl Default for BcdConfig {
             init: InitStrategy::Random,
             restarts: 1,
             seed: 0,
+            warm_start: false,
         }
+    }
+}
+
+impl BcdConfig {
+    /// Returns the configuration with [`BcdConfig::warm_start`] enabled.
+    pub fn with_warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
     }
 }
 
@@ -230,38 +246,83 @@ impl BcdSolver {
     /// Runs block coordinate descent and returns the best solution across
     /// restarts.
     pub fn solve(&self, problem: &HashingProblem) -> HashingSolution {
+        self.solve_inner(problem, None)
+    }
+
+    /// Runs block coordinate descent warm-started from `initial`: restart 0
+    /// descends from the given assignment (bucket indices are clamped into
+    /// the problem's range, so an incumbent solved for more buckets still
+    /// seeds legally) and any further restarts use the configured
+    /// [`InitStrategy`] as usual. `initial` must have one entry per problem
+    /// element — callers re-solving after the element set changed map their
+    /// incumbent onto the new universe first.
+    pub fn solve_from(&self, problem: &HashingProblem, initial: &[usize]) -> HashingSolution {
+        assert_eq!(
+            initial.len(),
+            problem.len(),
+            "warm-start assignment must cover every element"
+        );
+        let clamped: Vec<usize> = initial
+            .iter()
+            .map(|&j| j.min(problem.buckets - 1))
+            .collect();
+        self.solve_inner(problem, Some(clamped))
+    }
+
+    /// Runs block coordinate descent warm-started from an incumbent
+    /// [`HashingSolution`] over the same element set (the re-training path:
+    /// frequencies drifted, the universe did not).
+    pub fn solve_warm(
+        &self,
+        problem: &HashingProblem,
+        incumbent: &HashingSolution,
+    ) -> HashingSolution {
+        self.solve_from(problem, &incumbent.assignment)
+    }
+
+    fn solve_inner(&self, problem: &HashingProblem, warm: Option<Vec<usize>>) -> HashingSolution {
         assert!(!problem.is_empty(), "cannot solve an empty problem");
         let start = Instant::now();
-        let mut best: Option<(Vec<usize>, f64)> = None;
+        let warm_started = warm.is_some();
+        let mut warm = warm;
+        let mut best: Option<(Vec<usize>, f64, Vec<f64>)> = None;
         let mut total_sweeps = 0usize;
         let restarts = self.config.restarts.max(1);
         for restart in 0..restarts {
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(restart as u64));
-            let assignment = self.initial_assignment(problem, &mut rng);
-            let (assignment, objective, sweeps) = self.descend(problem, assignment, &mut rng);
-            total_sweeps += sweeps;
-            if best.as_ref().map_or(true, |(_, obj)| objective < *obj) {
-                best = Some((assignment, objective));
+            let assignment = match warm.take() {
+                // Restart 0 descends from the caller's incumbent.
+                Some(initial) => initial,
+                None => self.initial_assignment(problem, &mut rng),
+            };
+            let (assignment, objective, trajectory) = self.descend(problem, assignment, &mut rng);
+            total_sweeps += trajectory.len().saturating_sub(1);
+            if best.as_ref().map_or(true, |(_, obj, _)| objective < *obj) {
+                best = Some((assignment, objective, trajectory));
             }
         }
-        let (assignment, _) = best.expect("at least one restart runs");
+        let (assignment, _, trajectory) = best.expect("at least one restart runs");
         let stats = SolverStats {
             elapsed: start.elapsed(),
             iterations: total_sweeps,
             proven_optimal: false,
             restarts,
+            initial_objective: trajectory.first().copied().unwrap_or(0.0),
+            cost_trajectory: trajectory,
+            warm_started,
         };
         problem.solution_from_assignment(assignment, stats)
     }
 
     /// One descent run from a given initial assignment. Returns the final
-    /// assignment, its objective and the number of sweeps performed.
+    /// assignment, its objective and the objective trajectory: entry 0 is the
+    /// initial objective, entry `s` the objective after sweep `s`.
     fn descend(
         &self,
         problem: &HashingProblem,
         mut assignment: Vec<usize>,
         rng: &mut StdRng,
-    ) -> (Vec<usize>, f64, usize) {
+    ) -> (Vec<usize>, f64, Vec<f64>) {
         let n = problem.len();
         let b = problem.buckets;
         let lambda = problem.lambda;
@@ -279,11 +340,10 @@ impl BcdSolver {
             buckets[j].insert(i, frequencies, dist);
         }
         let mut objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
+        let mut trajectory = vec![objective];
 
         let mut order: Vec<usize> = (0..n).collect();
-        let mut sweeps = 0usize;
         for _ in 0..self.config.max_iterations {
-            sweeps += 1;
             order.shuffle(rng);
             for &i in &order {
                 let current = assignment[i];
@@ -316,11 +376,12 @@ impl BcdSolver {
             let new_objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
             let improvement = objective - new_objective;
             objective = new_objective;
+            trajectory.push(objective);
             if improvement < self.config.tolerance {
                 break;
             }
         }
-        (assignment, objective, sweeps)
+        (assignment, objective, trajectory)
     }
 }
 
@@ -489,6 +550,59 @@ mod tests {
         assert_eq!(sol.assignment, vec![0, 0, 0]);
         // est error = |1-5|+|5-5|+|9-5| = 8
         assert!((sol.estimation_error - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_populates_trajectory_stats() {
+        let p = clustered_problem(0.5);
+        let sol = BcdSolver::with_defaults().solve(&p);
+        assert!(!sol.stats.warm_started);
+        // restarts = 1, so the winning trajectory accounts for every sweep.
+        assert_eq!(sol.stats.cost_trajectory.len(), sol.stats.iterations + 1);
+        assert_eq!(sol.stats.initial_objective, sol.stats.cost_trajectory[0]);
+        let last = *sol.stats.cost_trajectory.last().unwrap();
+        assert!(
+            (last - sol.objective).abs() < 1e-6,
+            "trajectory end {last} vs objective {}",
+            sol.objective
+        );
+        for pair in sol.stats.cost_trajectory.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-9,
+                "descent must not increase the objective"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_from_clamps_out_of_range_buckets() {
+        let p = clustered_problem(0.5);
+        let incumbent = vec![7usize; p.len()]; // solved for more buckets than p has
+        let sol = BcdSolver::with_defaults().solve_from(&p, &incumbent);
+        assert!(sol.stats.warm_started);
+        assert!(sol.assignment.iter().all(|&j| j < p.buckets));
+    }
+
+    #[test]
+    fn warm_start_from_optimum_converges_in_one_sweep() {
+        let p = clustered_problem(1.0);
+        let cold = BcdSolver::new(BcdConfig {
+            restarts: 4,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        let warm = BcdSolver::with_defaults().solve_warm(&p, &cold);
+        assert!(warm.stats.warm_started);
+        assert_eq!(warm.stats.iterations, 1, "no move should survive one sweep");
+        assert!(warm.objective <= cold.objective + 1e-9);
+        assert_eq!(warm.stats.initial_objective, cold.objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every element")]
+    fn solve_from_rejects_wrong_length() {
+        let p = clustered_problem(0.5);
+        let _ = BcdSolver::with_defaults().solve_from(&p, &[0, 1]);
     }
 
     #[test]

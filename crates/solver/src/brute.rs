@@ -31,6 +31,7 @@ pub fn brute_force(problem: &HashingProblem) -> HashingSolution {
                 iterations: 0,
                 proven_optimal: true,
                 restarts: 0,
+                ..SolverStats::default()
             },
         );
     }
@@ -100,6 +101,7 @@ pub fn brute_force(problem: &HashingProblem) -> HashingSolution {
         iterations: nodes,
         proven_optimal: true,
         restarts: 0,
+        ..SolverStats::default()
     };
     problem.solution_from_assignment(best_assignment, stats)
 }

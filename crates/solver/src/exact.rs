@@ -280,6 +280,7 @@ impl ExactSolver {
             iterations: nodes,
             proven_optimal: exhausted,
             restarts: self.config.warm_start_restarts,
+            ..SolverStats::default()
         };
         problem.solution_from_assignment(incumbent_assignment, stats)
     }

@@ -347,6 +347,7 @@ pub fn solve_frequency_only(problem: &HashingProblem) -> HashingSolution {
         iterations: problem.len() * problem.buckets,
         proven_optimal: true,
         restarts: 0,
+        ..SolverStats::default()
     };
     problem.solution_from_assignment(result.assignment, stats)
 }

@@ -131,7 +131,12 @@ impl HashingProblem {
 }
 
 /// Execution statistics attached to a solution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Iterative solvers (BCD) additionally report the objective trajectory of
+/// the winning restart so callers can see *how* the solve converged — the
+/// warm-start machinery uses this to prove that re-solving a perturbed
+/// problem from the incumbent assignment converges faster than from scratch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SolverStats {
     /// Wall-clock time spent solving.
     pub elapsed: Duration,
@@ -142,6 +147,16 @@ pub struct SolverStats {
     pub proven_optimal: bool,
     /// Number of restarts performed (multi-start BCD).
     pub restarts: usize,
+    /// Objective of the initial assignment of the restart that produced the
+    /// returned solution (equals `cost_trajectory[0]` when the trajectory is
+    /// recorded; `0.0` for non-iterative solvers).
+    pub initial_objective: f64,
+    /// Objective after the initial assignment and after every subsequent
+    /// sweep of the winning restart. Empty for non-iterative solvers.
+    pub cost_trajectory: Vec<f64>,
+    /// Whether the solve was warm-started from a caller-provided assignment
+    /// (e.g. the incumbent scheme during online re-training).
+    pub warm_started: bool,
 }
 
 /// A learned hashing scheme: the assignment `Z` of Problem (1) in dense form

@@ -34,11 +34,13 @@ pub mod prelude {
     pub use opthash::{
         AdaptiveOptHash, EstimatorStats, OptHash, OptHashBuilder, OptHashConfig, SolverKind,
     };
+    pub use opthash_datagen::drift::{DriftConfig, DriftingWorkload};
     pub use opthash_datagen::groups::{GroupConfig, GroupDataset};
     pub use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
     pub use opthash_engine::{
         BackpressurePolicy, EngineConfig, EngineError, EngineStats, FaultEvent, FaultInjector,
-        FaultLog, IngestEngine, IngestMode, SketchBackend,
+        FaultLog, IngestEngine, IngestMode, RetrainConfig, RetrainStats, Retrainer, SketchBackend,
+        TrainedScheme,
     };
     #[cfg(feature = "failpoints")]
     pub use opthash_engine::{FaultAction, FaultPlan};

@@ -407,3 +407,68 @@ fn degrade_policy_preserves_total_mass_under_overload() {
     assert_eq!(stats.unaccounted_mass(), 0);
     assert_bit_identical(&mut engine, &reference, 3_000, "Degrade overload");
 }
+
+// ---------------------------------------------------------------------------
+// Hot-swap publish panic
+// ---------------------------------------------------------------------------
+
+/// A panic during a swap publish (`worker::swap`) kills the victim worker
+/// with the swap request still pending — nothing was mutated yet — so the
+/// supervisor's replacement worker rebuilds the pre-swap scratch and redoes
+/// the swap exactly once. The retired backend still equals the sequential
+/// pre-swap replay, the engine continues bit-identically on the new base,
+/// and not one unit of mass goes unaccounted.
+#[test]
+fn swap_publish_panic_recovers_and_redoes_the_swap() {
+    quiet_injected_panics();
+    let pre = mixed_arrivals(30_000, 1_500, 7);
+    let post = mixed_arrivals(30_000, 1_500, 11);
+    let reference_pre = sequential_reference(&pre);
+    let reference_post = sequential_reference(&post);
+    for victim in 0..3usize {
+        let base = CountMinSketch::new(512, 4, 9);
+        let mut engine = IngestEngine::new(
+            base.clone(),
+            EngineConfig::with_shards(3)
+                .batch_capacity(64)
+                .checkpoint_interval(4),
+        );
+        engine.fault_injector().program(
+            &format!("worker::swap@{victim}"),
+            FaultPlan::panic().on_hit(1),
+        );
+        for &id in &pre {
+            engine.ingest(&element(id)).unwrap();
+        }
+        let retired = engine
+            .swap_backend(base.clone())
+            .expect("the swap must survive the publish panic");
+        assert_eq!(engine.scheme_version(), 1);
+        let log = engine.fault_log();
+        assert!(
+            log.worker_restarts() >= 1,
+            "victim {victim}: the publish panic must be visible as a restart, got {log:?}"
+        );
+        for id in 0..1_520u64 {
+            assert_eq!(
+                SketchBackend::query(&retired, &element(id)),
+                SketchBackend::query(&reference_pre, &element(id)),
+                "victim {victim}: retired counts diverged at id {id}"
+            );
+        }
+        let stats = engine.stats();
+        assert!(stats.conserved(), "victim {victim}: ledger must balance");
+        assert_eq!(stats.unaccounted_mass(), 0);
+        for &id in &post {
+            engine.ingest(&element(id)).unwrap();
+        }
+        assert_bit_identical(&mut engine, &reference_post, 1_500, "post-swap stream");
+        let stats = engine.stats();
+        assert!(stats.conserved());
+        assert_eq!(stats.unaccounted_mass(), 0);
+        assert_eq!(
+            stats.quarantined_mass, 0,
+            "a swap panic is not a poison pill"
+        );
+    }
+}

@@ -222,6 +222,118 @@ proptest! {
         check_policy_conserves(BackpressurePolicy::DegradeAggregate, &ups, shards, batch)?;
     }
 
+    /// A scheme hot-swap ([`IngestEngine::swap_backend`]) must conserve
+    /// mass under **every** backpressure policy and ingest mode, for
+    /// arbitrary interleavings of ingest, swap, and flush: the ledger
+    /// balances and zero admitted mass is unaccounted after each swap.
+    #[test]
+    fn hot_swap_conserves_mass_under_every_policy(
+        ups in zipfish_updates(300),
+        shards in 1usize..5,
+        batch in 1usize..16,
+        policy_pick in 0usize..3,
+        swap_gap in 7usize..60,
+        inline in 0usize..2,
+    ) {
+        let policy = [
+            BackpressurePolicy::Block,
+            BackpressurePolicy::Reject,
+            BackpressurePolicy::DegradeAggregate,
+        ][policy_pick];
+        let mode = if inline == 1 { IngestMode::Inline } else { IngestMode::Workers };
+        let base = CountMinSketch::new(128, 4, 11);
+        let mut engine = IngestEngine::new(
+            base.clone(),
+            EngineConfig::with_shards(shards)
+                .batch_capacity(batch)
+                .queue_capacity(2)
+                .backpressure(policy)
+                .mode(mode),
+        );
+        let mut swaps = 0u64;
+        for (i, &(id, count)) in ups.iter().enumerate() {
+            match engine.ingest_weighted(&StreamElement::without_features(id), count) {
+                Ok(()) | Err(EngineError::Overloaded { .. }) => {}
+                Err(other) => return Err(format!("unexpected error: {other}")),
+            }
+            if (i + 1) % swap_gap == 0 {
+                engine.swap_backend(base.clone()).expect("hot swap");
+                swaps += 1;
+                let stats = engine.stats();
+                prop_assert!(stats.conserved(), "ledger must balance right after swap {swaps}");
+                prop_assert_eq!(
+                    stats.unaccounted_mass(), 0,
+                    "swap {} left mass unaccounted under {:?}", swaps, policy
+                );
+            } else if (i + 1) % (swap_gap * 2) == swap_gap / 2 {
+                engine.flush().expect("interleaved flush");
+            }
+        }
+        prop_assert_eq!(engine.scheme_version(), swaps);
+        engine.flush().expect("final flush");
+        let stats = engine.stats();
+        prop_assert!(stats.conserved());
+        prop_assert_eq!(stats.unaccounted_mass(), 0);
+    }
+
+    /// For linear backends, migrating counts through the fork/merge
+    /// machinery at a swap is **equivalent to rebuilding from the ledger**:
+    /// every retired backend equals a fresh base replayed with exactly its
+    /// segment's admitted updates, and the live engine equals a fresh base
+    /// replayed with the updates admitted since the last swap.
+    #[test]
+    fn swap_migration_matches_ledger_rebuild(
+        ups in weighted_updates(300, 250),
+        shards in 1usize..5,
+        batch in 1usize..16,
+        swap_gap in 11usize..80,
+        inline in 0usize..2,
+    ) {
+        let mode = if inline == 1 { IngestMode::Inline } else { IngestMode::Workers };
+        let base = CountMinSketch::new(128, 4, 11);
+        let mut engine = IngestEngine::new(
+            base.clone(),
+            EngineConfig::with_shards(shards).batch_capacity(batch).mode(mode),
+        );
+        // The "ledger": admitted updates, segmented at each swap point.
+        let mut segments: Vec<Vec<(u64, u64)>> = vec![Vec::new()];
+        let mut retired_backends = Vec::new();
+        for (i, &(id, count)) in ups.iter().enumerate() {
+            engine.ingest_weighted(&StreamElement::without_features(id), count).unwrap();
+            segments.last_mut().unwrap().push((id, count));
+            if (i + 1) % swap_gap == 0 {
+                retired_backends.push(engine.swap_backend(base.clone()).expect("hot swap"));
+                segments.push(Vec::new());
+            }
+        }
+        let live = engine.finish().unwrap();
+        let rebuilt: Vec<CountMinSketch> = segments
+            .iter()
+            .map(|segment| {
+                let mut reference = base.clone();
+                apply(&mut reference, segment);
+                reference
+            })
+            .collect();
+        for id in 0..320u64 {
+            let probe = StreamElement::without_features(id);
+            for (k, (retired, reference)) in
+                retired_backends.iter().zip(&rebuilt).enumerate()
+            {
+                prop_assert_eq!(
+                    SketchBackend::query(retired, &probe),
+                    SketchBackend::query(reference, &probe),
+                    "retired backend {} diverged from its ledger rebuild at id {}", k, id
+                );
+            }
+            prop_assert_eq!(
+                SketchBackend::query(&live, &probe),
+                SketchBackend::query(rebuilt.last().unwrap(), &probe),
+                "live engine diverged from the post-swap ledger rebuild at id {}", id
+            );
+        }
+    }
+
     /// Misra-Gries is order-dependent, so sharded results may differ from
     /// sequential ones — but the merged summary must keep the deterministic
     /// deficit bound on the true frequencies.

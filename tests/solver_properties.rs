@@ -26,6 +26,72 @@ fn features_for(freqs: &[f64]) -> Vec<Features> {
         .collect()
 }
 
+/// A drifted copy of `freqs`: every entry scaled by a deterministic ±5%,
+/// modelling the between-retrain drift the online engine re-solves under.
+fn perturb(freqs: &[f64]) -> Vec<f64> {
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f * (0.95 + ((i * 13) % 11) as f64 / 100.0)).max(0.5))
+        .collect()
+}
+
+/// Regression: on a drifted two-cluster instance, warm-starting from the
+/// incumbent must reach a cost no worse than a cold solve **in strictly
+/// fewer sweeps**, visible through the repaired [`opthash_solver::SolverStats`]
+/// (before this fix `BcdSolver::solve` left `iterations`/`restarts`
+/// unpopulated, so this speedup was unobservable).
+#[test]
+fn warm_start_beats_cold_start_on_drifted_instance() {
+    let freqs: Vec<f64> = (0..24)
+        .map(|i| {
+            if i % 2 == 0 {
+                400.0 + i as f64
+            } else {
+                10.0 + i as f64
+            }
+        })
+        .collect();
+    let buckets = 4;
+    let solver = BcdSolver::new(BcdConfig {
+        restarts: 1,
+        seed: 7,
+        ..BcdConfig::default()
+    });
+    // The incumbent comes from a thorough multi-restart bootstrap solve —
+    // exactly what the online retrainer starts from.
+    let incumbent = BcdSolver::new(BcdConfig {
+        restarts: 6,
+        seed: 7,
+        ..BcdConfig::default()
+    })
+    .solve(&HashingProblem::frequency_only(freqs.clone(), buckets));
+    let drifted = HashingProblem::frequency_only(perturb(&freqs), buckets);
+
+    let cold = solver.solve(&drifted);
+    let warm = solver.solve_warm(&drifted, &incumbent);
+
+    assert!(warm.stats.warm_started && !cold.stats.warm_started);
+    assert!(
+        warm.objective <= cold.objective + 1e-9,
+        "warm {} must not lose to cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert!(
+        warm.stats.iterations < cold.stats.iterations,
+        "warm start must converge in strictly fewer sweeps ({} vs {})",
+        warm.stats.iterations,
+        cold.stats.iterations
+    );
+    assert_eq!(warm.stats.restarts, 1);
+    assert_eq!(
+        warm.stats.cost_trajectory.len(),
+        warm.stats.iterations + 1,
+        "trajectory records the start plus one entry per sweep"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -118,6 +184,45 @@ proptest! {
             previous = result.cost;
         }
         prop_assert!(kmedian::kmedian_dp(&values, n).cost.abs() < 1e-9);
+    }
+
+    /// Warm-starting BCD from an incumbent solved on a *perturbed* problem
+    /// is still a descent: the result never costs more than the incumbent
+    /// assignment re-costed on the new instance, and [`SolverStats`] records
+    /// the provenance (warm flag, initial objective, non-increasing cost
+    /// trajectory, one trajectory entry per sweep).
+    #[test]
+    fn warm_started_bcd_descends_from_the_incumbent_on_perturbed_problems(
+        freqs in frequencies(20),
+        buckets in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        let solver = BcdSolver::new(BcdConfig { restarts: 1, seed, ..BcdConfig::default() });
+        let incumbent = solver.solve(&HashingProblem::frequency_only(freqs.clone(), buckets));
+        prop_assert!(!incumbent.stats.warm_started);
+
+        let drifted = perturb(&freqs);
+        let warm = solver.solve_warm(
+            &HashingProblem::frequency_only(drifted.clone(), buckets),
+            &incumbent,
+        );
+        prop_assert!(warm.stats.warm_started);
+
+        // The trajectory starts exactly at the incumbent assignment's cost
+        // on the drifted instance and never rises.
+        let start =
+            assignment_errors(&drifted, &[], &incumbent.assignment, buckets, 1.0).estimation_error;
+        prop_assert!((warm.stats.initial_objective - start).abs() < 1e-6,
+            "initial objective {} must be the incumbent re-costed {}",
+            warm.stats.initial_objective, start);
+        prop_assert!(warm.objective <= start + 1e-6,
+            "warm descent went uphill: {} from {}", warm.objective, start);
+        let trajectory = &warm.stats.cost_trajectory;
+        prop_assert_eq!(trajectory.len(), warm.stats.iterations + 1,
+            "one trajectory entry per sweep plus the start");
+        prop_assert!(trajectory.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "cost trajectory must be non-increasing: {:?}", trajectory);
+        prop_assert!((trajectory[trajectory.len() - 1] - warm.objective).abs() < 1e-9);
     }
 
     /// The similarity term never goes negative and vanishes when λ = 1.
