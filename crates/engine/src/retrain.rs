@@ -53,6 +53,14 @@ pub struct RetrainConfig {
     /// [`Retrainer::ingest`] — deterministic, used by tests and benches via
     /// [`Retrainer::retrain_now`].
     pub background: bool,
+    /// Route re-solves through the racing solver portfolio
+    /// ([`opthash::OptHash::retrain_racing`]: parallel warm-started BCD
+    /// restarts raced against the exact DP and brute force) instead of the
+    /// sequential solver. On by default — re-training latency is the whole
+    /// reason the background thread exists; disable for bit-reproducible
+    /// solves on λ = 1 workloads, where the DP racer can decide races by
+    /// timing.
+    pub portfolio: bool,
 }
 
 impl Default for RetrainConfig {
@@ -62,6 +70,7 @@ impl Default for RetrainConfig {
             retrain_interval: 16_384,
             min_distinct: 64,
             background: true,
+            portfolio: true,
         }
     }
 }
@@ -202,7 +211,14 @@ impl Retrainer {
             } else if self.config.background {
                 let incumbent = self.scheme.estimator.clone();
                 let prefix = self.window_prefix();
-                self.pending = Some(std::thread::spawn(move || incumbent.retrain(&prefix)));
+                let racing = self.config.portfolio;
+                self.pending = Some(std::thread::spawn(move || {
+                    if racing {
+                        incumbent.retrain_racing(&prefix)
+                    } else {
+                        incumbent.retrain(&prefix)
+                    }
+                }));
             } else {
                 self.train_and_swap()?;
             }
@@ -310,7 +326,12 @@ impl Retrainer {
     }
 
     fn train_and_swap(&mut self) -> Result<(), EngineError> {
-        let estimator = self.scheme.estimator.retrain(&self.window_prefix());
+        let prefix = self.window_prefix();
+        let estimator = if self.config.portfolio {
+            self.scheme.estimator.retrain_racing(&prefix)
+        } else {
+            self.scheme.estimator.retrain(&prefix)
+        };
         self.stats.retrains += 1;
         self.publish(estimator)
     }
@@ -358,6 +379,7 @@ mod tests {
                 retrain_interval: 256,
                 min_distinct: 4,
                 background: false,
+                portfolio: false,
             },
         );
         // Phase 1: ids 0..8 hot; phase 2: ids 100..108 hot.
@@ -407,6 +429,7 @@ mod tests {
                 retrain_interval: 128,
                 min_distinct: 4,
                 background: true,
+                portfolio: false,
             },
         );
         for i in 0..4_000u64 {
@@ -433,6 +456,7 @@ mod tests {
                 retrain_interval: 32,
                 min_distinct: 1_000,
                 background: false,
+                portfolio: false,
             },
         );
         for i in 0..200u64 {
@@ -455,6 +479,7 @@ mod tests {
                 retrain_interval: 1_000_000,
                 min_distinct: 1,
                 background: false,
+                portfolio: false,
             },
         );
         for i in 0..32u64 {

@@ -1,23 +1,43 @@
 //! Block coordinate descent (Algorithm 1 of the paper).
 //!
-//! The solver maintains, for every bucket `j`, the member set `I_j`, its
-//! cardinality `c_j`, mean frequency `μ_j`, estimation error `e_j` and
-//! similarity error `s_j`. Each sweep visits the elements in a fresh random
-//! permutation; for every element it tentatively removes it from its current
-//! bucket, evaluates the objective change of inserting it into each bucket,
-//! and greedily commits the best move. Sweeps repeat until the objective
+//! Each sweep visits the elements in a fresh random permutation; for every
+//! element it evaluates the objective change of moving it into each bucket
+//! against the incrementally maintained bucket statistics of
+//! [`crate::incremental::IncrementalObjective`] (`O(log |I_j|)` per
+//! candidate instead of a from-scratch recompute) and greedily commits the
+//! best strictly-improving move. Sweeps repeat until the objective
 //! improvement drops below a tolerance or an iteration cap is reached, and
 //! the whole process can be restarted from multiple initial assignments
 //! (Section 4.3).
+//!
+//! Multi-start runs are managed SAT-solver style: a calibrated fast/slow EMA
+//! pair ([`crate::progress::Ema2`]) tracks how fast the per-sweep improvement
+//! of each descent is decaying (its geometric decay ratio), and restarts
+//! that have no realistic chance of catching the
+//! incumbent — their projected remaining improvement cannot close the gap —
+//! are aborted early. The sweep budget they free is reallocated to the
+//! incumbent (its descent continues if it had run out of budget before
+//! converging), and every abort decision is recorded in
+//! [`SolverStats::restarts_aborted`]. Restart 0 never aborts, so a
+//! multi-start solve is never worse than the single-start solve with the
+//! same seed.
 
+use crate::incremental::{IncrementalObjective, PairwiseDistances, PAIR_CACHE_LIMIT};
 use crate::kmedian::{kmedian_dp_with, ClusterCost, DpStrategy};
 use crate::problem::{HashingProblem, HashingSolution, SolverStats};
-use opthash_stream::Features;
+use crate::progress::Ema2;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Fast EMA window (sweeps) for the stagnation check.
+const EMA_FAST_WINDOW: usize = 3;
+/// Slow EMA window (sweeps) for the stagnation check.
+const EMA_SLOW_WINDOW: usize = 12;
 
 /// How the initial assignment of elements to buckets is produced
 /// (Section 4.3 discusses all four options).
@@ -57,6 +77,10 @@ pub struct BcdConfig {
     /// incumbent instead of the configured [`InitStrategy`]. Plain
     /// [`BcdSolver::solve`] ignores the flag (it has no incumbent).
     pub warm_start: bool,
+    /// Minimum number of sweeps a restart must run before the EMA stagnation
+    /// check may abort it. Restart 0 (no incumbent to compare against) never
+    /// aborts; `usize::MAX` disables early aborts entirely.
+    pub abort_after: usize,
 }
 
 impl Default for BcdConfig {
@@ -68,6 +92,7 @@ impl Default for BcdConfig {
             restarts: 1,
             seed: 0,
             warm_start: false,
+            abort_after: 3,
         }
     }
 }
@@ -78,6 +103,12 @@ impl BcdConfig {
         self.warm_start = true;
         self
     }
+
+    /// Returns the configuration with EMA early-aborts disabled.
+    pub fn without_aborts(mut self) -> Self {
+        self.abort_after = usize::MAX;
+        self
+    }
 }
 
 /// Block coordinate descent solver for [`HashingProblem`].
@@ -86,91 +117,57 @@ pub struct BcdSolver {
     config: BcdConfig,
 }
 
-/// Incremental per-bucket state.
-#[derive(Debug, Clone)]
-struct Bucket {
-    members: Vec<usize>,
-    sum_frequency: f64,
-    estimation_error: f64,
-    similarity_error: f64,
+/// Per-descent control knobs (internal).
+struct DescendControl<'c> {
+    /// Sweep budget of this descent.
+    max_sweeps: usize,
+    /// Cooperative cancellation flag, checked at every sweep boundary.
+    cancel: Option<&'c AtomicBool>,
+    /// Objective of the incumbent this descent must plausibly beat;
+    /// `None` disables the stagnation abort.
+    abort_against: Option<f64>,
+    /// Minimum sweeps before the abort check may fire.
+    abort_after: usize,
+    /// Pairwise feature distances shared across the restarts of one solve
+    /// (`None` for frequency-only problems or very large `n`).
+    pairs: Option<&'c PairwiseDistances>,
 }
 
-impl Bucket {
-    fn new() -> Self {
-        Bucket {
-            members: Vec::new(),
-            sum_frequency: 0.0,
-            estimation_error: 0.0,
-            similarity_error: 0.0,
-        }
-    }
+/// Result of one descent run (internal).
+struct DescentResult {
+    assignment: Vec<usize>,
+    objective: f64,
+    /// Entry 0 is the initial objective, entry `s` the objective after
+    /// sweep `s`.
+    trajectory: Vec<f64>,
+    moves_evaluated: u64,
+    sweeps: usize,
+    /// Ended because the improvement dropped below the tolerance.
+    converged: bool,
+    /// Ended because the EMA stagnation check fired.
+    aborted: bool,
+    /// Ended because the cancellation flag was raised.
+    cancelled: bool,
+}
 
-    fn mean(&self) -> f64 {
-        if self.members.is_empty() {
-            0.0
-        } else {
-            self.sum_frequency / self.members.len() as f64
-        }
-    }
+/// Aggregate outcome of a block of restarts (crate-internal; the portfolio
+/// solver races several of these).
+pub(crate) struct RestartsOutcome {
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) objective: f64,
+    pub(crate) trajectory: Vec<f64>,
+    pub(crate) total_sweeps: usize,
+    pub(crate) moves_evaluated: u64,
+    pub(crate) restarts_aborted: usize,
+    pub(crate) restarts_run: usize,
+    pub(crate) time_to_best: Duration,
+}
 
-    /// Recomputes the estimation error from scratch (O(|I_j|)).
-    fn recompute_estimation_error(&mut self, frequencies: &[f64]) {
-        let mean = self.mean();
-        self.estimation_error = self
-            .members
-            .iter()
-            .map(|&i| (frequencies[i] - mean).abs())
-            .sum();
-    }
-
-    /// Estimation error the bucket *would* have with `candidate` inserted.
-    fn estimation_error_with(&self, candidate: usize, frequencies: &[f64]) -> f64 {
-        let count = self.members.len() as f64 + 1.0;
-        let mean = (self.sum_frequency + frequencies[candidate]) / count;
-        let mut err = (frequencies[candidate] - mean).abs();
-        for &i in &self.members {
-            err += (frequencies[i] - mean).abs();
-        }
-        err
-    }
-
-    /// Sum of distances from `candidate` to every current member.
-    fn distance_to_members(&self, candidate: usize, features: &[Features]) -> f64 {
-        if features.is_empty() {
-            return 0.0;
-        }
-        self.members
-            .iter()
-            .map(|&i| features[candidate].l2_distance(&features[i]))
-            .sum()
-    }
-
-    fn insert(&mut self, element: usize, frequencies: &[f64], dist_sum: f64) {
-        self.members.push(element);
-        self.sum_frequency += frequencies[element];
-        self.similarity_error += 2.0 * dist_sum;
-        self.recompute_estimation_error(frequencies);
-    }
-
-    fn remove(&mut self, element: usize, frequencies: &[f64], dist_sum: f64) {
-        let pos = self
-            .members
-            .iter()
-            .position(|&i| i == element)
-            .expect("element must be a member of the bucket it is removed from");
-        self.members.swap_remove(pos);
-        self.sum_frequency -= frequencies[element];
-        self.similarity_error -= 2.0 * dist_sum;
-        if self.similarity_error < 0.0 {
-            // guard against floating-point drift below zero
-            self.similarity_error = 0.0;
-        }
-        self.recompute_estimation_error(frequencies);
-    }
-
-    fn objective(&self, lambda: f64) -> f64 {
-        lambda * self.estimation_error + (1.0 - lambda) * self.similarity_error
-    }
+struct BestState {
+    assignment: Vec<usize>,
+    objective: f64,
+    trajectory: Vec<f64>,
+    converged: bool,
 }
 
 impl BcdSolver {
@@ -246,7 +243,7 @@ impl BcdSolver {
     /// Runs block coordinate descent and returns the best solution across
     /// restarts.
     pub fn solve(&self, problem: &HashingProblem) -> HashingSolution {
-        self.solve_inner(problem, None)
+        self.solve_inner(problem, None, None)
     }
 
     /// Runs block coordinate descent warm-started from `initial`: restart 0
@@ -257,16 +254,7 @@ impl BcdSolver {
     /// element — callers re-solving after the element set changed map their
     /// incumbent onto the new universe first.
     pub fn solve_from(&self, problem: &HashingProblem, initial: &[usize]) -> HashingSolution {
-        assert_eq!(
-            initial.len(),
-            problem.len(),
-            "warm-start assignment must cover every element"
-        );
-        let clamped: Vec<usize> = initial
-            .iter()
-            .map(|&j| j.min(problem.buckets - 1))
-            .collect();
-        self.solve_inner(problem, Some(clamped))
+        self.solve_inner(problem, Some(Self::clamp_warm(problem, initial)), None)
     }
 
     /// Runs block coordinate descent warm-started from an incumbent
@@ -280,108 +268,287 @@ impl BcdSolver {
         self.solve_from(problem, &incumbent.assignment)
     }
 
-    fn solve_inner(&self, problem: &HashingProblem, warm: Option<Vec<usize>>) -> HashingSolution {
+    /// Like [`BcdSolver::solve`] / [`BcdSolver::solve_from`] but
+    /// cooperatively cancellable: the descent checks `cancel` at every sweep
+    /// boundary and returns its best-so-far solution as soon as the flag is
+    /// raised. This is the entry point the racing
+    /// [`crate::portfolio::PortfolioSolver`] uses for its BCD workers.
+    pub fn solve_cancellable(
+        &self,
+        problem: &HashingProblem,
+        warm: Option<&[usize]>,
+        cancel: &AtomicBool,
+    ) -> HashingSolution {
+        self.solve_inner(
+            problem,
+            warm.map(|initial| Self::clamp_warm(problem, initial)),
+            Some(cancel),
+        )
+    }
+
+    pub(crate) fn clamp_warm(problem: &HashingProblem, initial: &[usize]) -> Vec<usize> {
+        assert_eq!(
+            initial.len(),
+            problem.len(),
+            "warm-start assignment must cover every element"
+        );
+        initial
+            .iter()
+            .map(|&j| j.min(problem.buckets - 1))
+            .collect()
+    }
+
+    fn solve_inner(
+        &self,
+        problem: &HashingProblem,
+        warm: Option<Vec<usize>>,
+        cancel: Option<&AtomicBool>,
+    ) -> HashingSolution {
         assert!(!problem.is_empty(), "cannot solve an empty problem");
         let start = Instant::now();
         let warm_started = warm.is_some();
-        let mut warm = warm;
-        let mut best: Option<(Vec<usize>, f64, Vec<f64>)> = None;
-        let mut total_sweeps = 0usize;
         let restarts = self.config.restarts.max(1);
-        for restart in 0..restarts {
+        let outcome = self.run_restarts(problem, warm, 0..restarts, cancel, true);
+        let stats = SolverStats {
+            elapsed: start.elapsed(),
+            iterations: outcome.total_sweeps,
+            proven_optimal: false,
+            restarts,
+            initial_objective: outcome.trajectory.first().copied().unwrap_or(0.0),
+            cost_trajectory: outcome.trajectory,
+            warm_started,
+            moves_evaluated: outcome.moves_evaluated,
+            restarts_aborted: outcome.restarts_aborted,
+            time_to_best: outcome.time_to_best,
+        };
+        problem.solution_from_assignment(outcome.assignment, stats)
+    }
+
+    /// Runs the restarts `range` (restart `r` seeds its RNG with
+    /// `seed + r`, so any partition of the full range across workers visits
+    /// the same initial assignments as a sequential run). `warm` seeds the
+    /// first restart of the range. With `allow_abort`, restarts after the
+    /// first may be EMA-aborted and their leftover budget continues the
+    /// incumbent's descent; the portfolio workers disable it so a raced
+    /// partition is never worse than the same restarts run sequentially.
+    pub(crate) fn run_restarts(
+        &self,
+        problem: &HashingProblem,
+        mut warm: Option<Vec<usize>>,
+        range: Range<usize>,
+        cancel: Option<&AtomicBool>,
+        allow_abort: bool,
+    ) -> RestartsOutcome {
+        let start = Instant::now();
+        let mut best: Option<BestState> = None;
+        let mut total_sweeps = 0usize;
+        let mut moves_evaluated = 0u64;
+        let mut restarts_aborted = 0usize;
+        let mut restarts_run = 0usize;
+        let mut budget_pool = 0usize;
+        let mut time_to_best = Duration::ZERO;
+        let mut cancelled = false;
+        // Pairwise feature distances are assignment-independent: build them
+        // once and share them across every restart of this solve.
+        let pairs = (problem.uses_features() && problem.len() <= PAIR_CACHE_LIMIT)
+            .then(|| PairwiseDistances::new(problem));
+
+        for restart in range.clone() {
+            // Always run at least one descent so there is a result to return,
+            // even if the cancellation flag was raised before we started.
+            if restart != range.start {
+                if let Some(flag) = cancel {
+                    if flag.load(Ordering::Relaxed) {
+                        cancelled = true;
+                        break;
+                    }
+                }
+            }
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(restart as u64));
             let assignment = match warm.take() {
-                // Restart 0 descends from the caller's incumbent.
+                // The first restart of the range descends from the incumbent.
                 Some(initial) => initial,
                 None => self.initial_assignment(problem, &mut rng),
             };
-            let (assignment, objective, trajectory) = self.descend(problem, assignment, &mut rng);
-            total_sweeps += trajectory.len().saturating_sub(1);
-            if best.as_ref().map_or(true, |(_, obj, _)| objective < *obj) {
-                best = Some((assignment, objective, trajectory));
+            let abort_against = if allow_abort {
+                best.as_ref().map(|b| b.objective)
+            } else {
+                None
+            };
+            let result = self.descend(
+                problem,
+                assignment,
+                &mut rng,
+                DescendControl {
+                    max_sweeps: self.config.max_iterations,
+                    cancel,
+                    abort_against,
+                    abort_after: self.config.abort_after,
+                    pairs: pairs.as_ref(),
+                },
+            );
+            restarts_run += 1;
+            total_sweeps += result.sweeps;
+            moves_evaluated += result.moves_evaluated;
+            if result.aborted {
+                restarts_aborted += 1;
+                budget_pool += self.config.max_iterations.saturating_sub(result.sweeps);
             }
-        }
-        let (assignment, _, trajectory) = best.expect("at least one restart runs");
-        let stats = SolverStats {
-            elapsed: start.elapsed(),
-            iterations: total_sweeps,
-            proven_optimal: false,
-            restarts,
-            initial_objective: trajectory.first().copied().unwrap_or(0.0),
-            cost_trajectory: trajectory,
-            warm_started,
-        };
-        problem.solution_from_assignment(assignment, stats)
-    }
-
-    /// One descent run from a given initial assignment. Returns the final
-    /// assignment, its objective and the objective trajectory: entry 0 is the
-    /// initial objective, entry `s` the objective after sweep `s`.
-    fn descend(
-        &self,
-        problem: &HashingProblem,
-        mut assignment: Vec<usize>,
-        rng: &mut StdRng,
-    ) -> (Vec<usize>, f64, Vec<f64>) {
-        let n = problem.len();
-        let b = problem.buckets;
-        let lambda = problem.lambda;
-        let frequencies = &problem.frequencies;
-        let features: &[Features] = if problem.uses_features() {
-            &problem.features
-        } else {
-            &[]
-        };
-
-        // Build bucket state from the initial assignment.
-        let mut buckets: Vec<Bucket> = (0..b).map(|_| Bucket::new()).collect();
-        for (i, &j) in assignment.iter().enumerate() {
-            let dist = buckets[j].distance_to_members(i, features);
-            buckets[j].insert(i, frequencies, dist);
-        }
-        let mut objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
-        let mut trajectory = vec![objective];
-
-        let mut order: Vec<usize> = (0..n).collect();
-        for _ in 0..self.config.max_iterations {
-            order.shuffle(rng);
-            for &i in &order {
-                let current = assignment[i];
-                // Remove i from its bucket. `distance_to_members` still counts
-                // i itself, but its self-distance is 0, so the value equals the
-                // distance to the *other* members — exactly what the
-                // similarity-error update needs.
-                let dist_current = buckets[current].distance_to_members(i, features);
-                buckets[current].remove(i, frequencies, dist_current);
-
-                // Evaluate the insertion cost into every bucket.
-                let mut best_bucket = current;
-                let mut best_delta = f64::INFINITY;
-                for (j, bucket) in buckets.iter().enumerate() {
-                    let est_with = bucket.estimation_error_with(i, frequencies);
-                    let est_delta = est_with - bucket.estimation_error;
-                    let dist = bucket.distance_to_members(i, features);
-                    let sim_delta = 2.0 * dist;
-                    let delta = lambda * est_delta + (1.0 - lambda) * sim_delta;
-                    if delta < best_delta {
-                        best_delta = delta;
-                        best_bucket = j;
-                    }
-                }
-
-                let dist_best = buckets[best_bucket].distance_to_members(i, features);
-                buckets[best_bucket].insert(i, frequencies, dist_best);
-                assignment[i] = best_bucket;
+            if result.cancelled {
+                cancelled = true;
             }
-            let new_objective: f64 = buckets.iter().map(|bk| bk.objective(lambda)).sum();
-            let improvement = objective - new_objective;
-            objective = new_objective;
-            trajectory.push(objective);
-            if improvement < self.config.tolerance {
+            if best
+                .as_ref()
+                .map_or(true, |b| result.objective < b.objective)
+            {
+                time_to_best = start.elapsed();
+                best = Some(BestState {
+                    assignment: result.assignment,
+                    objective: result.objective,
+                    trajectory: result.trajectory,
+                    converged: result.converged,
+                });
+            }
+            if cancelled {
                 break;
             }
         }
-        (assignment, objective, trajectory)
+
+        // Reallocate the budget freed by aborted restarts to the incumbent:
+        // if its descent ran out of sweeps before converging, let it continue.
+        if allow_abort && budget_pool > 0 && !cancelled {
+            if let Some(incumbent) = best.take() {
+                if incumbent.converged {
+                    best = Some(incumbent);
+                } else {
+                    let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9_7f4a_7c15);
+                    let result = self.descend(
+                        problem,
+                        incumbent.assignment,
+                        &mut rng,
+                        DescendControl {
+                            max_sweeps: budget_pool,
+                            cancel,
+                            abort_against: None,
+                            abort_after: usize::MAX,
+                            pairs: pairs.as_ref(),
+                        },
+                    );
+                    total_sweeps += result.sweeps;
+                    moves_evaluated += result.moves_evaluated;
+                    let mut trajectory = incumbent.trajectory;
+                    trajectory.extend_from_slice(&result.trajectory[1..]);
+                    if result.objective < incumbent.objective {
+                        time_to_best = start.elapsed();
+                    }
+                    best = Some(BestState {
+                        assignment: result.assignment,
+                        objective: result.objective,
+                        trajectory,
+                        converged: result.converged,
+                    });
+                }
+            }
+        }
+
+        let best = best.expect("at least one restart runs");
+        RestartsOutcome {
+            assignment: best.assignment,
+            objective: best.objective,
+            trajectory: best.trajectory,
+            total_sweeps,
+            moves_evaluated,
+            restarts_aborted,
+            restarts_run,
+            time_to_best,
+        }
+    }
+
+    /// One descent run from a given initial assignment.
+    fn descend(
+        &self,
+        problem: &HashingProblem,
+        assignment: Vec<usize>,
+        rng: &mut StdRng,
+        control: DescendControl<'_>,
+    ) -> DescentResult {
+        let n = problem.len();
+        let mut inc = IncrementalObjective::with_pair_distances(problem, assignment, control.pairs);
+        let mut objective = inc.objective();
+        let mut trajectory = vec![objective];
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut ema = Ema2::new(EMA_FAST_WINDOW, EMA_SLOW_WINDOW);
+        let mut prev_improvement: Option<f64> = None;
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        let mut aborted = false;
+        let mut cancelled = false;
+
+        for sweep in 0..control.max_sweeps {
+            if let Some(flag) = control.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    cancelled = true;
+                    break;
+                }
+            }
+            order.shuffle(rng);
+            for &i in &order {
+                let (bucket, _delta) = inc.best_move(i);
+                // Commit whenever the cheapest re-insertion bucket differs
+                // from the current one — including zero-delta plateau moves,
+                // which keep the sweep order's tie-breaking identical to the
+                // classic remove-then-reinsert descent.
+                if bucket != inc.assignment()[i] {
+                    inc.commit(i, bucket);
+                }
+            }
+            inc.debug_assert_consistent();
+            let new_objective = inc.objective();
+            let improvement = objective - new_objective;
+            objective = new_objective;
+            trajectory.push(objective);
+            sweeps = sweep + 1;
+            if improvement < self.config.tolerance {
+                converged = true;
+                break;
+            }
+            // Feed the EMA the sweep-over-sweep improvement decay ratio, not
+            // the raw improvement: BCD improvements shrink roughly
+            // geometrically, and a ratio EMA is responsive from the second
+            // sweep while an absolute EMA stays poisoned by the huge first
+            // sweep until long after the descent has converged.
+            if let Some(prev) = prev_improvement {
+                if prev > 0.0 {
+                    ema.update((improvement / prev).clamp(0.0, 1.0));
+                }
+            }
+            prev_improvement = Some(improvement);
+            if let Some(best_known) = control.abort_against {
+                // Predictive stagnation check: model the remaining descent as
+                // a geometric series with the EMA-estimated decay ratio and
+                // abort once even that projection cannot close the gap to the
+                // incumbent. Requires at least one ratio sample (sweep ≥ 2).
+                let ratio = ema.get();
+                if sweeps >= control.abort_after.max(2) && ratio < 1.0 {
+                    let projected = improvement * ratio / (1.0 - ratio);
+                    if objective - best_known > projected {
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        DescentResult {
+            moves_evaluated: inc.moves_evaluated(),
+            assignment: inc.into_assignment(),
+            objective,
+            trajectory,
+            sweeps,
+            converged,
+            aborted,
+            cancelled,
+        }
     }
 }
 
@@ -560,6 +727,8 @@ mod tests {
         // restarts = 1, so the winning trajectory accounts for every sweep.
         assert_eq!(sol.stats.cost_trajectory.len(), sol.stats.iterations + 1);
         assert_eq!(sol.stats.initial_objective, sol.stats.cost_trajectory[0]);
+        assert!(sol.stats.moves_evaluated > 0);
+        assert!(sol.stats.time_to_best <= sol.stats.elapsed);
         let last = *sol.stats.cost_trajectory.last().unwrap();
         assert!(
             (last - sol.objective).abs() < 1e-6,
@@ -629,5 +798,118 @@ mod tests {
             );
             last = sol.objective;
         }
+    }
+
+    /// A larger random instance where stragglers exist, so the EMA abort has
+    /// something to cut.
+    fn noisy_problem(n: usize, b: usize, seed: u64) -> HashingProblem {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64
+        };
+        HashingProblem::frequency_only((0..n).map(|_| next()).collect(), b)
+    }
+
+    /// Like [`noisy_problem`] but with a similarity term. Feature distances
+    /// are continuous, so descents improve in long shrinking tails — exactly
+    /// the regime the predictive abort is designed to cut short (pure
+    /// frequency instances converge too abruptly to ever look hopeless).
+    fn noisy_feature_problem(n: usize, b: usize, lambda: f64, seed: u64) -> HashingProblem {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64
+        };
+        let frequencies: Vec<f64> = (0..n).map(|_| next()).collect();
+        let features: Vec<Features> = (0..n)
+            .map(|_| Features::new(vec![next() / 50.0, next() / 50.0]))
+            .collect();
+        HashingProblem::new(frequencies, features, b, lambda)
+    }
+
+    #[test]
+    fn ema_abort_is_recorded_and_never_hurts_the_incumbent() {
+        let p = noisy_feature_problem(150, 8, 0.5, 11);
+        let eager = BcdSolver::new(BcdConfig {
+            restarts: 8,
+            abort_after: 1,
+            seed: 3,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        let patient = BcdSolver::new(BcdConfig {
+            restarts: 1,
+            seed: 3,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        // Restart 0 never aborts, so the multi-start run keeps its result.
+        assert!(eager.objective <= patient.objective + 1e-9);
+        assert!(
+            eager.stats.restarts_aborted > 0,
+            "abort_after=1 on 8 restarts should cut at least one straggler"
+        );
+        // Aborted restarts must free budget: fewer sweeps than the full run.
+        let full = BcdSolver::new(BcdConfig {
+            restarts: 8,
+            seed: 3,
+            abort_after: usize::MAX,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        assert_eq!(full.stats.restarts_aborted, 0);
+        assert!(eager.stats.iterations <= full.stats.iterations);
+    }
+
+    #[test]
+    fn disabled_aborts_run_every_restart_to_convergence() {
+        let p = noisy_problem(80, 4, 5);
+        let sol = BcdSolver::new(BcdConfig {
+            restarts: 6,
+            ..BcdConfig::default().without_aborts()
+        })
+        .solve(&p);
+        assert_eq!(sol.stats.restarts_aborted, 0);
+    }
+
+    #[test]
+    fn cancellation_returns_a_valid_solution_immediately() {
+        let p = noisy_problem(150, 8, 9);
+        let cancel = AtomicBool::new(true); // raised before the solve starts
+        let sol = BcdSolver::new(BcdConfig {
+            restarts: 16,
+            ..BcdConfig::default()
+        })
+        .solve_cancellable(&p, None, &cancel);
+        // The first descent still runs (a result must exist), but no further
+        // restarts are attempted.
+        assert_eq!(sol.assignment.len(), p.len());
+        assert!(sol.assignment.iter().all(|&j| j < p.buckets));
+        let uncancelled = BcdSolver::new(BcdConfig {
+            restarts: 16,
+            ..BcdConfig::default()
+        })
+        .solve(&p);
+        assert!(sol.stats.iterations <= uncancelled.stats.iterations);
+    }
+
+    #[test]
+    fn solve_cancellable_matches_solve_when_never_cancelled() {
+        let p = clustered_problem(0.5);
+        let cfg = BcdConfig {
+            restarts: 3,
+            seed: 21,
+            ..BcdConfig::default()
+        };
+        let cancel = AtomicBool::new(false);
+        let raced = BcdSolver::new(cfg).solve_cancellable(&p, None, &cancel);
+        let plain = BcdSolver::new(cfg).solve(&p);
+        assert_eq!(raced.assignment, plain.assignment);
+        assert_eq!(raced.objective, plain.objective);
     }
 }

@@ -31,79 +31,67 @@ pub fn brute_force(problem: &HashingProblem) -> HashingSolution {
                 iterations: 0,
                 proven_optimal: true,
                 restarts: 0,
+                time_to_best: start.elapsed(),
                 ..SolverStats::default()
             },
         );
     }
     let b = problem.buckets.min(n);
-    let mut assignment = vec![0usize; n];
-    let mut best_assignment = vec![0usize; n];
-    let mut best_objective = f64::INFINITY;
-    let mut nodes = 0usize;
 
     // Depth-first enumeration with canonical labeling: element i may use at
     // most one bucket index beyond the largest index used so far. This visits
     // each set partition into at most `b` parts exactly once.
-    fn recurse(
-        i: usize,
-        max_used: usize,
-        n: usize,
-        b: usize,
-        problem: &HashingProblem,
-        assignment: &mut Vec<usize>,
-        best_assignment: &mut Vec<usize>,
-        best_objective: &mut f64,
-        nodes: &mut usize,
-    ) {
+    struct Search<'p> {
+        problem: &'p HashingProblem,
+        start: Instant,
+        assignment: Vec<usize>,
+        best_assignment: Vec<usize>,
+        best_objective: f64,
+        nodes: usize,
+        time_to_best: std::time::Duration,
+    }
+
+    fn recurse(s: &mut Search<'_>, i: usize, max_used: usize, n: usize, b: usize) {
         if i == n {
-            *nodes += 1;
-            let obj = problem.objective(assignment);
-            if obj < *best_objective {
-                *best_objective = obj;
-                best_assignment.clone_from(assignment);
+            s.nodes += 1;
+            let obj = s.problem.objective(&s.assignment);
+            if obj < s.best_objective {
+                s.best_objective = obj;
+                s.best_assignment.clone_from(&s.assignment);
+                s.time_to_best = s.start.elapsed();
             }
             return;
         }
         let limit = (max_used + 1).min(b - 1);
         for j in 0..=limit {
-            assignment[i] = j;
-            recurse(
-                i + 1,
-                max_used.max(j),
-                n,
-                b,
-                problem,
-                assignment,
-                best_assignment,
-                best_objective,
-                nodes,
-            );
+            s.assignment[i] = j;
+            recurse(s, i + 1, max_used.max(j), n, b);
         }
     }
 
     // Element 0 is pinned to bucket 0; any assignment is a relabeling of one
     // with that property.
-    assignment[0] = 0;
-    recurse(
-        1,
-        0,
-        n,
-        b,
+    let mut search = Search {
         problem,
-        &mut assignment,
-        &mut best_assignment,
-        &mut best_objective,
-        &mut nodes,
-    );
+        start,
+        assignment: vec![0usize; n],
+        best_assignment: vec![0usize; n],
+        best_objective: f64::INFINITY,
+        nodes: 0,
+        time_to_best: std::time::Duration::ZERO,
+    };
+    recurse(&mut search, 1, 0, n, b);
 
     let stats = SolverStats {
         elapsed: start.elapsed(),
-        iterations: nodes,
+        iterations: search.nodes,
         proven_optimal: true,
         restarts: 0,
+        moves_evaluated: search.nodes as u64,
+        time_to_best: search.time_to_best,
         ..SolverStats::default()
     };
-    problem.solution_from_assignment(best_assignment, stats)
+    problem.solution_from_assignment(search.best_assignment, stats)
 }
 
 #[cfg(test)]

@@ -157,6 +157,8 @@ impl ExactSolver {
         .solve(problem);
         let mut incumbent_assignment = warm.assignment.clone();
         let mut incumbent_objective = warm.objective;
+        let warm_moves = warm.stats.moves_evaluated;
+        let mut time_to_best = start.elapsed();
 
         // Branch on elements in decreasing frequency order: heavy elements
         // constrain the buckets the most, so deciding them early prunes best.
@@ -260,6 +262,7 @@ impl ExactSolver {
                         if objective < incumbent_objective {
                             incumbent_objective = objective;
                             incumbent_assignment.clone_from(&partial);
+                            time_to_best = start.elapsed();
                         }
                         // Stay at this depth; the loop will undo and try the
                         // next bucket for this element.
@@ -280,6 +283,8 @@ impl ExactSolver {
             iterations: nodes,
             proven_optimal: exhausted,
             restarts: self.config.warm_start_restarts,
+            moves_evaluated: warm_moves + nodes as u64,
+            time_to_best,
             ..SolverStats::default()
         };
         problem.solution_from_assignment(incumbent_assignment, stats)

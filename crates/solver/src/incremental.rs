@@ -1,0 +1,551 @@
+//! Incrementally maintained objective for local-search solvers.
+//!
+//! The BCD sweep of [`crate::bcd`] evaluates, for every element, the
+//! objective change of moving it into each of the `b` buckets. Doing that
+//! with from-scratch bucket recomputation costs `O(|I_j|)` per candidate
+//! bucket (and `O(|I_j|·d)` when features are active), which made each sweep
+//! quadratic in `n`. [`IncrementalObjective`] maintains per-bucket
+//! *sufficient statistics* so that
+//!
+//! * evaluating a move costs `O(log |I_j|)` — the estimation-error change of
+//!   inserting (or removing) a frequency is computed in closed form from the
+//!   bucket's sorted frequencies and their prefix sums, and the
+//!   similarity-error change is a single lookup in a maintained
+//!   element × bucket distance-sum matrix;
+//! * committing a move costs `O(|I_j|)` for the bucket bookkeeping plus
+//!   `O(n·d)` for the distance-matrix column updates (features active only),
+//!   and is paid **per committed move**, not per candidate.
+//!
+//! The estimation error of a bucket with mean `μ` splits around the mean:
+//! `Σ|f − μ| = (μ·cnt≤ − sum≤) + (sum> − μ·cnt>)`, so it is a function of
+//! the member count, the member sum, and the count/sum of members below the
+//! candidate mean — all available from the sorted-frequency prefix sums with
+//! one binary search.
+//!
+//! Every maintained quantity can be cross-checked against a from-scratch
+//! recompute via [`IncrementalObjective::recomputed_objective`]; debug
+//! builds of the BCD solver assert the two agree after every sweep.
+
+use crate::problem::HashingProblem;
+
+/// Largest `n` for which the full `n × n` pairwise-distance matrix is
+/// materialised (32 MB of `f64` at the limit); beyond it distances are
+/// recomputed on demand.
+pub const PAIR_CACHE_LIMIT: usize = 2_048;
+
+/// Precomputed symmetric pairwise feature distances `‖x_i − x_k‖₂`.
+///
+/// The distances depend only on the problem — not on any assignment — so a
+/// multi-restart descent builds this once and every restart's
+/// [`IncrementalObjective`] turns its `O(n²·d)` initialisation and its
+/// `O(n·d)` per-commit column updates into table lookups. Construction costs
+/// `O(n²·d)` once and `n²` doubles of memory; callers should gate on
+/// [`PAIR_CACHE_LIMIT`].
+#[derive(Debug, Clone)]
+pub struct PairwiseDistances {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl PairwiseDistances {
+    /// Builds the matrix for `problem`'s features. Panics if features are
+    /// inactive (there is nothing to cache).
+    pub fn new(problem: &HashingProblem) -> Self {
+        assert!(
+            problem.uses_features(),
+            "pairwise distances only exist for feature-active problems"
+        );
+        let n = problem.len();
+        let features = &problem.features;
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            for k in (i + 1)..n {
+                let d = features[i].l2_distance(&features[k]);
+                data[i * n + k] = d;
+                data[k * n + i] = d;
+            }
+        }
+        PairwiseDistances { n, data }
+    }
+
+    /// The row of distances from element `i` to every element.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Sufficient statistics of one bucket.
+#[derive(Debug, Clone)]
+struct BucketStats {
+    /// Member frequencies, sorted ascending (duplicates kept).
+    sorted: Vec<f64>,
+    /// Prefix sums over `sorted`: `prefix[k] = Σ sorted[0..k]`, rebuilt
+    /// exactly on every commit so it never accumulates incremental drift.
+    prefix: Vec<f64>,
+    /// Maintained estimation error `Σ |f − μ|` of the current members.
+    est: f64,
+    /// Maintained similarity error `Σ_{(i,k)∈I×I} ‖x_i − x_k‖` (ordered
+    /// pairs), zero when features are inactive.
+    sim: f64,
+}
+
+impl BucketStats {
+    fn new() -> Self {
+        BucketStats {
+            sorted: Vec::new(),
+            prefix: vec![0.0],
+            est: 0.0,
+            sim: 0.0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    #[inline]
+    fn sum(&self) -> f64 {
+        self.prefix[self.sorted.len()]
+    }
+
+    fn rebuild_prefix(&mut self) {
+        self.prefix.clear();
+        self.prefix.push(0.0);
+        let mut acc = 0.0;
+        for &v in &self.sorted {
+            acc += v;
+            self.prefix.push(acc);
+        }
+    }
+
+    /// Estimation error the bucket would have with `f` inserted.
+    fn est_with(&self, f: f64) -> f64 {
+        let m = self.len();
+        let sum = self.sum() + f;
+        let count = (m + 1) as f64;
+        let mean = sum / count;
+        let split = self.sorted.partition_point(|&v| v <= mean);
+        let mut below_cnt = split as f64;
+        let mut below_sum = self.prefix[split];
+        if f <= mean {
+            below_cnt += 1.0;
+            below_sum += f;
+        }
+        let above_cnt = count - below_cnt;
+        let above_sum = sum - below_sum;
+        (mean * below_cnt - below_sum) + (above_sum - mean * above_cnt)
+    }
+
+    /// Estimation error the bucket would have with one occurrence of the
+    /// member frequency `f` removed.
+    fn est_without(&self, f: f64) -> f64 {
+        let m = self.len();
+        debug_assert!(m >= 1, "cannot remove from an empty bucket");
+        if m <= 1 {
+            return 0.0;
+        }
+        let sum = self.sum() - f;
+        let count = (m - 1) as f64;
+        let mean = sum / count;
+        let split = self.sorted.partition_point(|&v| v <= mean);
+        let mut below_cnt = split as f64;
+        let mut below_sum = self.prefix[split];
+        if f <= mean {
+            // One of the counted below-mean occurrences is the removed one
+            // (all occurrences of `f` are interchangeable).
+            below_cnt -= 1.0;
+            below_sum -= f;
+        }
+        let above_cnt = count - below_cnt;
+        let above_sum = sum - below_sum;
+        (mean * below_cnt - below_sum) + (above_sum - mean * above_cnt)
+    }
+
+    fn insert(&mut self, f: f64) {
+        let pos = self.sorted.partition_point(|&v| v <= f);
+        self.sorted.insert(pos, f);
+        self.rebuild_prefix();
+    }
+
+    fn remove(&mut self, f: f64) {
+        let pos = self.sorted.partition_point(|&v| v < f);
+        debug_assert!(
+            pos < self.sorted.len() && (self.sorted[pos] - f).abs() < 1e-12,
+            "removed frequency must be a member"
+        );
+        self.sorted.remove(pos);
+        self.rebuild_prefix();
+    }
+}
+
+/// Incrementally maintained Problem (1) objective over a mutable assignment.
+///
+/// Construct it from a [`HashingProblem`] and an initial assignment, then
+/// alternate [`IncrementalObjective::best_move`] /
+/// [`IncrementalObjective::eval_move`] (read-only, cheap) with
+/// [`IncrementalObjective::commit`] (applies one move). The maintained
+/// objective is available in `O(b)` via
+/// [`IncrementalObjective::objective`] and provably matches a from-scratch
+/// recompute (see [`IncrementalObjective::recomputed_objective`]).
+#[derive(Debug)]
+pub struct IncrementalObjective<'a> {
+    problem: &'a HashingProblem,
+    assignment: Vec<usize>,
+    buckets: Vec<BucketStats>,
+    /// Flattened `n × b` matrix; entry `[i·b + j]` is
+    /// `Σ_{k ∈ I_j} ‖x_i − x_k‖`. Empty when features are inactive.
+    dist_sums: Vec<f64>,
+    use_features: bool,
+    pairs: Option<&'a PairwiseDistances>,
+    moves_evaluated: u64,
+}
+
+impl<'a> IncrementalObjective<'a> {
+    /// Builds the sufficient statistics for `assignment`.
+    ///
+    /// Costs `O(n log n)` for the frequency structures plus `O(n²·d)` for the
+    /// pairwise distance matrix when features are active — paid once per
+    /// descent, after which every sweep is subquadratic.
+    pub fn new(problem: &'a HashingProblem, assignment: Vec<usize>) -> Self {
+        Self::with_pair_distances(problem, assignment, None)
+    }
+
+    /// Like [`IncrementalObjective::new`], but reuses a prebuilt
+    /// [`PairwiseDistances`] table (shared across restarts by the descent),
+    /// replacing the `O(n²·d)` distance computation of initialisation and
+    /// the `O(n·d)` distance work per committed move with lookups.
+    pub fn with_pair_distances(
+        problem: &'a HashingProblem,
+        assignment: Vec<usize>,
+        pairs: Option<&'a PairwiseDistances>,
+    ) -> Self {
+        let n = problem.len();
+        let b = problem.buckets;
+        assert_eq!(assignment.len(), n, "assignment must cover every element");
+        debug_assert!(assignment.iter().all(|&j| j < b));
+        let use_features = problem.uses_features();
+
+        let mut buckets: Vec<BucketStats> = (0..b).map(|_| BucketStats::new()).collect();
+        for (i, &j) in assignment.iter().enumerate() {
+            let pos = buckets[j]
+                .sorted
+                .partition_point(|&v| v <= problem.frequencies[i]);
+            buckets[j].sorted.insert(pos, problem.frequencies[i]);
+        }
+        for bucket in &mut buckets {
+            bucket.rebuild_prefix();
+            let m = bucket.len();
+            if m > 0 {
+                let mean = bucket.sum() / m as f64;
+                bucket.est = bucket.sorted.iter().map(|&v| (v - mean).abs()).sum();
+            }
+        }
+
+        let mut dist_sums = Vec::new();
+        if use_features {
+            let features = &problem.features;
+            dist_sums = vec![0.0f64; n * b];
+            if let Some(pairs) = pairs {
+                for i in 0..n {
+                    let row = pairs.row(i);
+                    let dest = &mut dist_sums[i * b..(i + 1) * b];
+                    for (k, &j) in assignment.iter().enumerate() {
+                        dest[j] += row[k];
+                    }
+                }
+            } else {
+                for i in 0..n {
+                    for k in (i + 1)..n {
+                        let d = features[i].l2_distance(&features[k]);
+                        dist_sums[i * b + assignment[k]] += d;
+                        dist_sums[k * b + assignment[i]] += d;
+                    }
+                }
+            }
+            // sim_j = Σ over ordered member pairs = Σ_{i∈I_j} dist_sums[i][j].
+            for (i, &j) in assignment.iter().enumerate() {
+                buckets[j].sim += dist_sums[i * b + j];
+            }
+        }
+
+        IncrementalObjective {
+            problem,
+            assignment,
+            buckets,
+            dist_sums,
+            use_features,
+            pairs,
+            moves_evaluated: 0,
+        }
+    }
+
+    /// The current assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Consumes the evaluator, returning the assignment.
+    pub fn into_assignment(self) -> Vec<usize> {
+        self.assignment
+    }
+
+    /// Number of candidate moves evaluated so far.
+    pub fn moves_evaluated(&self) -> u64 {
+        self.moves_evaluated
+    }
+
+    /// The maintained objective, `O(b)`.
+    pub fn objective(&self) -> f64 {
+        let lambda = self.problem.lambda;
+        self.buckets
+            .iter()
+            .map(|bk| lambda * bk.est + (1.0 - lambda) * bk.sim)
+            .sum()
+    }
+
+    /// Objective change of moving element `i` into bucket `j`
+    /// (exactly `0.0` when `j` is already its bucket).
+    pub fn eval_move(&mut self, i: usize, j: usize) -> f64 {
+        let a = self.assignment[i];
+        if a == j {
+            return 0.0;
+        }
+        self.moves_evaluated += 1;
+        let f = self.problem.frequencies[i];
+        let lambda = self.problem.lambda;
+        let est_delta = (self.buckets[a].est_without(f) - self.buckets[a].est)
+            + (self.buckets[j].est_with(f) - self.buckets[j].est);
+        let sim_delta = if self.use_features {
+            let b = self.problem.buckets;
+            2.0 * (self.dist_sums[i * b + j] - self.dist_sums[i * b + a])
+        } else {
+            0.0
+        };
+        lambda * est_delta + (1.0 - lambda) * sim_delta
+    }
+
+    /// The best move for element `i`: conceptually removes `i` from its
+    /// bucket and returns the bucket with the cheapest re-insertion cost,
+    /// together with the net objective change of moving there (`<= 0` up to
+    /// rounding; exactly `0.0` when the best bucket is the current one).
+    ///
+    /// All buckets — including the current one — compete on re-insertion
+    /// cost, and ties resolve to the lowest bucket index. This mirrors the
+    /// classic remove-then-reinsert BCD sweep and permits zero-delta
+    /// "plateau" moves, which help later sweeps escape shallow local optima.
+    pub fn best_move(&mut self, i: usize) -> (usize, f64) {
+        let a = self.assignment[i];
+        let f = self.problem.frequencies[i];
+        let lambda = self.problem.lambda;
+        let b = self.problem.buckets;
+        // Insertion costs are measured against the bucket states with `i`
+        // removed; re-inserting into the current bucket costs exactly what
+        // the removal saved, so "stay" competes on equal terms.
+        let est_without_a = self.buckets[a].est_without(f);
+        let stay_est = self.buckets[a].est - est_without_a;
+        let stay_sim = if self.use_features {
+            2.0 * self.dist_sums[i * b + a]
+        } else {
+            0.0
+        };
+        let mut best_bucket = a;
+        let mut best_cost = f64::INFINITY;
+        for j in 0..b {
+            self.moves_evaluated += 1;
+            let est_insert = if j == a {
+                stay_est
+            } else {
+                self.buckets[j].est_with(f) - self.buckets[j].est
+            };
+            let sim_insert = if self.use_features {
+                2.0 * self.dist_sums[i * b + j]
+            } else {
+                0.0
+            };
+            let cost = lambda * est_insert + (1.0 - lambda) * sim_insert;
+            if cost < best_cost {
+                best_cost = cost;
+                best_bucket = j;
+            }
+        }
+        let stay_cost = lambda * stay_est + (1.0 - lambda) * stay_sim;
+        (best_bucket, best_cost - stay_cost)
+    }
+
+    /// Moves element `i` into bucket `j`, updating every maintained
+    /// statistic. No-op if `j` is already its bucket.
+    pub fn commit(&mut self, i: usize, j: usize) {
+        let a = self.assignment[i];
+        if a == j {
+            return;
+        }
+        let f = self.problem.frequencies[i];
+        // Estimation errors are refreshed from the closed-form evaluation —
+        // the committed value is identical to the evaluated one, so a
+        // committed move changes the objective by exactly its reported delta.
+        let new_est_a = self.buckets[a].est_without(f);
+        let new_est_j = self.buckets[j].est_with(f);
+        self.buckets[a].remove(f);
+        self.buckets[j].insert(f);
+        self.buckets[a].est = new_est_a;
+        self.buckets[j].est = new_est_j;
+        self.assignment[i] = j;
+
+        if self.use_features {
+            let b = self.problem.buckets;
+            self.buckets[a].sim -= 2.0 * self.dist_sums[i * b + a];
+            self.buckets[j].sim += 2.0 * self.dist_sums[i * b + j];
+            if self.buckets[a].sim < 0.0 {
+                // guard against floating-point drift below zero
+                self.buckets[a].sim = 0.0;
+            }
+            // Every element's distance sum shifts d(·, i) from column a to j.
+            if let Some(pairs) = self.pairs {
+                let dist_row = pairs.row(i);
+                for (k, row) in self.dist_sums.chunks_exact_mut(b).enumerate() {
+                    let d = dist_row[k];
+                    row[a] -= d;
+                    row[j] += d;
+                }
+            } else {
+                let features = &self.problem.features;
+                let fi = &features[i];
+                for (k, row) in self.dist_sums.chunks_exact_mut(b).enumerate() {
+                    let d = fi.l2_distance(&features[k]);
+                    row[a] -= d;
+                    row[j] += d;
+                }
+            }
+        }
+    }
+
+    /// The objective recomputed from scratch off the current assignment —
+    /// the ground truth the maintained value is asserted against.
+    pub fn recomputed_objective(&self) -> f64 {
+        self.problem.objective(&self.assignment)
+    }
+
+    /// Debug-asserts that the maintained objective matches a from-scratch
+    /// recompute (relative tolerance `1e-6`). Compiled out in release.
+    #[inline]
+    pub fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let maintained = self.objective();
+            let truth = self.recomputed_objective();
+            let scale = truth.abs().max(1.0);
+            debug_assert!(
+                (maintained - truth).abs() <= 1e-6 * scale,
+                "incremental objective {maintained} drifted from recompute {truth}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opthash_stream::Features;
+
+    fn feature_problem() -> HashingProblem {
+        let frequencies = vec![1.0, 2.0, 1.5, 100.0, 101.0, 99.0, 50.0, 51.0];
+        let features = frequencies
+            .iter()
+            .map(|&f| Features::new(vec![f / 10.0, -f / 20.0]))
+            .collect();
+        HashingProblem::new(frequencies, features, 3, 0.5)
+    }
+
+    #[test]
+    fn initial_statistics_match_recompute() {
+        let p = feature_problem();
+        let assignment = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let inc = IncrementalObjective::new(&p, assignment.clone());
+        let truth = p.objective(&assignment);
+        assert!(
+            (inc.objective() - truth).abs() < 1e-9,
+            "maintained {} vs truth {truth}",
+            inc.objective()
+        );
+    }
+
+    #[test]
+    fn eval_move_predicts_commit_exactly() {
+        let p = feature_problem();
+        let mut inc = IncrementalObjective::new(&p, vec![0, 0, 1, 1, 2, 2, 0, 1]);
+        for (i, j) in [(0usize, 2usize), (3, 0), (5, 1), (7, 2), (2, 2)] {
+            let before = inc.objective();
+            let predicted = inc.eval_move(i, j);
+            inc.commit(i, j);
+            let actual = inc.objective() - before;
+            assert!(
+                (predicted - actual).abs() < 1e-9,
+                "move {i}->{j}: predicted {predicted} actual {actual}"
+            );
+            inc.debug_assert_consistent();
+        }
+    }
+
+    #[test]
+    fn stays_consistent_over_many_random_moves() {
+        let p = feature_problem();
+        let mut inc = IncrementalObjective::new(&p, vec![0; 8]);
+        let mut state = 7u64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % 8) as usize;
+            let j = ((state >> 8) % 3) as usize;
+            inc.commit(i, j);
+        }
+        let truth = inc.recomputed_objective();
+        assert!(
+            (inc.objective() - truth).abs() < 1e-6 * truth.max(1.0),
+            "maintained {} vs truth {truth}",
+            inc.objective()
+        );
+    }
+
+    #[test]
+    fn best_move_finds_the_obvious_improvement() {
+        // Element 3 (freq 100) sits with the small frequencies; moving it to
+        // the heavy bucket must be the best move.
+        let frequencies = vec![1.0, 2.0, 1.5, 100.0, 101.0, 99.0];
+        let p = HashingProblem::frequency_only(frequencies, 2);
+        let mut inc = IncrementalObjective::new(&p, vec![0, 0, 0, 0, 1, 1]);
+        let (bucket, delta) = inc.best_move(3);
+        assert_eq!(bucket, 1);
+        assert!(delta < 0.0, "delta {delta}");
+        inc.commit(3, bucket);
+        assert!(inc.objective() < 10.0);
+        assert!(inc.moves_evaluated() >= 1);
+    }
+
+    #[test]
+    fn staying_put_scores_zero() {
+        let p = feature_problem();
+        let mut inc = IncrementalObjective::new(&p, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+        for i in 0..8 {
+            let a = inc.assignment()[i];
+            assert_eq!(inc.eval_move(i, a), 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_frequencies_are_handled() {
+        let p = HashingProblem::frequency_only(vec![5.0, 5.0, 5.0, 5.0, 9.0], 2);
+        let mut inc = IncrementalObjective::new(&p, vec![0, 0, 1, 1, 0]);
+        for (i, j) in [(0usize, 1usize), (1, 1), (2, 0), (0, 0), (4, 1)] {
+            inc.commit(i, j);
+            let truth = inc.recomputed_objective();
+            assert!(
+                (inc.objective() - truth).abs() < 1e-9,
+                "maintained {} vs truth {truth}",
+                inc.objective()
+            );
+        }
+    }
+}

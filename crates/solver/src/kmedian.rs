@@ -24,6 +24,7 @@
 
 use crate::problem::{HashingProblem, HashingSolution, SolverStats};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Which within-cluster deviation the DP minimizes.
@@ -65,6 +66,11 @@ pub struct KMedianResult {
     /// Number of clusters actually used (`min(k, number of distinct-ish
     /// groups)` — always `min(k, n)`).
     pub clusters_used: usize,
+    /// DP cells evaluated (candidate `(split, prefix)` pairs scored). The
+    /// monotonicity pruning of the quadratic strategy and the shrinking
+    /// argmin windows of divide-and-conquer both show up directly in this
+    /// counter.
+    pub cells_evaluated: u64,
 }
 
 /// Precomputed prefix sums over the sorted values, giving O(1) range costs.
@@ -157,6 +163,30 @@ pub fn kmedian_dp_with(
     cost: ClusterCost,
     strategy: DpStrategy,
 ) -> KMedianResult {
+    kmedian_dp_inner(values, k, cost, strategy, None).expect("uncancelled DP always completes")
+}
+
+/// Cooperatively cancellable variant of [`kmedian_dp_with`]: the DP checks
+/// `cancel` once per cluster row and returns `None` as soon as the flag is
+/// raised. Used by the racing portfolio so an already-decided race does not
+/// keep paying for the table.
+pub fn kmedian_dp_cancellable(
+    values: &[f64],
+    k: usize,
+    cost: ClusterCost,
+    strategy: DpStrategy,
+    cancel: &AtomicBool,
+) -> Option<KMedianResult> {
+    kmedian_dp_inner(values, k, cost, strategy, Some(cancel))
+}
+
+fn kmedian_dp_inner(
+    values: &[f64],
+    k: usize,
+    cost: ClusterCost,
+    strategy: DpStrategy,
+    cancel: Option<&AtomicBool>,
+) -> Option<KMedianResult> {
     assert!(k > 0, "k must be positive");
     assert!(
         values.iter().all(|v| v.is_finite()),
@@ -164,11 +194,12 @@ pub fn kmedian_dp_with(
     );
     let n = values.len();
     if n == 0 {
-        return KMedianResult {
+        return Some(KMedianResult {
             assignment: Vec::new(),
             cost: 0.0,
             clusters_used: 0,
-        };
+            cells_evaluated: 0,
+        });
     }
     let k = k.min(n);
 
@@ -188,28 +219,47 @@ pub fn kmedian_dp_with(
     let rc = RangeCost::new(&sorted, cost);
 
     // dp[i] = optimal cost of clustering sorted[0..=i] with the current
-    // number of clusters; split[j][i] = last cluster's start for backtracking.
+    // number of clusters; split[j·n + i] = last cluster's start for
+    // backtracking (one flat allocation instead of a Vec per cluster row).
     let mut dp_prev: Vec<f64> = (0..n).map(|i| rc.range_cost(0, i)).collect();
     let mut dp_cur = vec![0.0f64; n];
-    let mut split = vec![vec![0usize; n]; k];
-    // With one cluster every prefix starts at 0.
-    for i in 0..n {
-        split[0][i] = 0;
-    }
+    let mut split = vec![0usize; k * n];
+    let mut cells = n as u64;
+    // Work stack for the divide-and-conquer strategy, allocated once and
+    // reused across every cluster row: (lo, hi, opt_lo, opt_hi).
+    let mut stack: Vec<(usize, usize, usize, usize)> = Vec::new();
 
+    let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
     for j in 1..k {
+        if cancelled() {
+            return None;
+        }
+        let split_row = &mut split[j * n..(j + 1) * n];
         match strategy {
             DpStrategy::Quadratic => {
                 for i in 0..n {
+                    // Large rows can dominate the race long after it is
+                    // decided; poll cancellation inside the row too.
+                    if i & 0x3FF == 0 && cancelled() {
+                        return None;
+                    }
                     if i < j {
                         // fewer points than clusters: zero cost, each its own
                         dp_cur[i] = 0.0;
-                        split[j][i] = i;
+                        split_row[i] = i;
                         continue;
                     }
                     let mut best = f64::INFINITY;
                     let mut best_m = j;
+                    // dp_prev is non-decreasing in the prefix length (adding
+                    // the largest element of a sorted prefix never lowers the
+                    // optimal cost), so once dp_prev[m−1] alone reaches the
+                    // best candidate no later split can win.
                     for m in j..=i {
+                        if dp_prev[m - 1] >= best {
+                            break;
+                        }
+                        cells += 1;
                         let c = dp_prev[m - 1] + rc.range_cost(m, i);
                         if c < best {
                             best = c;
@@ -217,36 +267,35 @@ pub fn kmedian_dp_with(
                         }
                     }
                     dp_cur[i] = best;
-                    split[j][i] = best_m;
+                    split_row[i] = best_m;
                 }
             }
             DpStrategy::DivideAndConquer => {
-                // Fill dp_cur[lo..=hi] knowing the optimal split index lies in
-                // [opt_lo, opt_hi] (monotonicity of argmin).
-                fn solve(
-                    lo: usize,
-                    hi: usize,
-                    opt_lo: usize,
-                    opt_hi: usize,
-                    j: usize,
-                    dp_prev: &[f64],
-                    dp_cur: &mut [f64],
-                    split_row: &mut [usize],
-                    rc: &RangeCost<'_>,
-                ) {
-                    if lo > hi {
-                        return;
+                // Fill dp_cur[lo..=hi] knowing the optimal split index lies
+                // in [opt_lo, opt_hi] (monotonicity of argmin), iteratively
+                // on the hoisted work stack.
+                stack.clear();
+                stack.push((0, n - 1, 1, n - 1));
+                let mut polls = 0u32;
+                while let Some((lo, hi, opt_lo, opt_hi)) = stack.pop() {
+                    polls = polls.wrapping_add(1);
+                    if polls & 0xFF == 0 && cancelled() {
+                        return None;
                     }
                     let mid = lo + (hi - lo) / 2;
-                    let mut best = f64::INFINITY;
-                    let mut best_m = opt_lo.max(j);
-                    let m_hi = opt_hi.min(mid);
-                    let m_lo = opt_lo.max(j);
                     if mid < j {
                         dp_cur[mid] = 0.0;
                         split_row[mid] = mid;
                     } else {
+                        let mut best = f64::INFINITY;
+                        let mut best_m = opt_lo.max(j);
+                        let m_lo = opt_lo.max(j);
+                        let m_hi = opt_hi.min(mid);
                         for m in m_lo..=m_hi {
+                            if dp_prev[m - 1] >= best {
+                                break;
+                            }
+                            cells += 1;
                             let c = dp_prev[m - 1] + rc.range_cost(m, mid);
                             if c < best {
                                 best = c;
@@ -257,35 +306,12 @@ pub fn kmedian_dp_with(
                         split_row[mid] = best_m;
                     }
                     if mid > lo {
-                        solve(
-                            lo,
-                            mid - 1,
-                            opt_lo,
-                            split_row[mid].max(j),
-                            j,
-                            dp_prev,
-                            dp_cur,
-                            split_row,
-                            rc,
-                        );
+                        stack.push((lo, mid - 1, opt_lo, split_row[mid].max(j)));
                     }
                     if mid < hi {
-                        solve(
-                            mid + 1,
-                            hi,
-                            split_row[mid].max(j),
-                            opt_hi,
-                            j,
-                            dp_prev,
-                            dp_cur,
-                            split_row,
-                            rc,
-                        );
+                        stack.push((mid + 1, hi, split_row[mid].max(j), opt_hi));
                     }
                 }
-                let (head, _) = split.split_at_mut(j + 1);
-                let split_row = &mut head[j];
-                solve(0, n - 1, 1, n - 1, j, &dp_prev, &mut dp_cur, split_row, &rc);
             }
         }
         std::mem::swap(&mut dp_prev, &mut dp_cur);
@@ -296,7 +322,7 @@ pub fn kmedian_dp_with(
     let mut end = n - 1;
     let mut j = k - 1;
     loop {
-        let start = split[j][end].min(end);
+        let start = split[j * n + end].min(end);
         boundaries.push((start, end));
         if j == 0 || start == 0 {
             break;
@@ -318,11 +344,12 @@ pub fn kmedian_dp_with(
         assignment[orig] = cluster_of_sorted[pos];
     }
 
-    KMedianResult {
+    Some(KMedianResult {
         assignment,
         cost: dp_prev[n - 1],
         clusters_used: boundaries.len(),
-    }
+        cells_evaluated: cells,
+    })
 }
 
 /// Solves a [`HashingProblem`] with `λ = 1` (or ignoring features) using the
@@ -344,12 +371,40 @@ pub fn solve_frequency_only(problem: &HashingProblem) -> HashingSolution {
     );
     let stats = SolverStats {
         elapsed: start.elapsed(),
-        iterations: problem.len() * problem.buckets,
+        iterations: result.cells_evaluated as usize,
         proven_optimal: true,
         restarts: 0,
+        moves_evaluated: result.cells_evaluated,
+        time_to_best: start.elapsed(),
         ..SolverStats::default()
     };
     problem.solution_from_assignment(result.assignment, stats)
+}
+
+/// Cancellable variant of [`solve_frequency_only`] for the racing portfolio:
+/// returns `None` if `cancel` is raised before the DP table completes.
+pub fn solve_frequency_only_cancellable(
+    problem: &HashingProblem,
+    cancel: &AtomicBool,
+) -> Option<HashingSolution> {
+    let start = Instant::now();
+    let result = kmedian_dp_cancellable(
+        &problem.frequencies,
+        problem.buckets,
+        ClusterCost::MeanAbs,
+        DpStrategy::DivideAndConquer,
+        cancel,
+    )?;
+    let stats = SolverStats {
+        elapsed: start.elapsed(),
+        iterations: result.cells_evaluated as usize,
+        proven_optimal: true,
+        restarts: 0,
+        moves_evaluated: result.cells_evaluated,
+        time_to_best: start.elapsed(),
+        ..SolverStats::default()
+    };
+    Some(problem.solution_from_assignment(result.assignment, stats))
 }
 
 #[cfg(test)]
@@ -554,5 +609,67 @@ mod tests {
         let values = vec![100.0; 50];
         let r = kmedian_dp(&values, 10);
         assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn pruned_quadratic_stays_exact_and_skips_cells() {
+        let mut state = 7u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 100.0
+        };
+        for trial in 0..15 {
+            let n = 20 + (trial % 40);
+            let values: Vec<f64> = (0..n).map(|_| next()).collect();
+            let k = 2 + (trial % 6);
+            for cost in [ClusterCost::MedianAbs, ClusterCost::MeanAbs] {
+                let r = kmedian_dp_with(&values, k, cost, DpStrategy::Quadratic);
+                let expected = brute_contiguous(&values, k, cost);
+                assert!(
+                    (r.cost - expected).abs() < 1e-9,
+                    "trial {trial} ({cost:?}): pruned {} vs brute {expected}",
+                    r.cost
+                );
+                // The monotonicity break must never evaluate more cells than
+                // the unpruned quadratic table holds.
+                let unpruned = (n as u64) * (n as u64) * (k as u64);
+                assert!(r.cells_evaluated > 0);
+                assert!(
+                    r.cells_evaluated <= unpruned,
+                    "evaluated {} cells, unpruned bound {unpruned}",
+                    r.cells_evaluated
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_dp_returns_none() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let cancel = AtomicBool::new(true);
+        let r = kmedian_dp_cancellable(
+            &values,
+            8,
+            ClusterCost::MedianAbs,
+            DpStrategy::DivideAndConquer,
+            &cancel,
+        );
+        assert!(r.is_none());
+
+        // An unraised flag must not change the result.
+        let cancel = AtomicBool::new(false);
+        let live = kmedian_dp_cancellable(
+            &values,
+            8,
+            ClusterCost::MedianAbs,
+            DpStrategy::DivideAndConquer,
+            &cancel,
+        )
+        .expect("uncancelled run completes");
+        let reference = kmedian_dp(&values, 8);
+        assert_eq!(live.assignment, reference.assignment);
+        assert!((live.cost - reference.cost).abs() < 1e-12);
     }
 }

@@ -23,7 +23,16 @@
 //!   (Problem (2)) with Gurobi; it returns the same optimal assignment for
 //!   the instance sizes the paper uses the MILP on,
 //! * [`brute`] — exhaustive enumeration for very small instances, used to
-//!   validate the other solvers in tests.
+//!   validate the other solvers in tests,
+//! * [`portfolio`] — a racing portfolio that runs BCD restarts on parallel
+//!   threads and races them against the provably-optimal DP (when `λ = 1`)
+//!   and brute force (tiny instances), cancelling the losers as soon as a
+//!   proven optimum lands.
+//!
+//! Supporting modules: [`incremental`] maintains the Problem (1) objective
+//! under single-element moves with O(log m) evaluation, and [`progress`]
+//! provides the calibrated exponential moving averages the BCD solver uses
+//! to abort stagnating restarts early.
 //!
 //! ```
 //! use opthash_solver::kmedian::kmedian_dp;
@@ -43,11 +52,17 @@
 pub mod bcd;
 pub mod brute;
 pub mod exact;
+pub mod incremental;
 pub mod kmedian;
+pub mod portfolio;
 pub mod problem;
+pub mod progress;
 
 pub use bcd::{BcdConfig, BcdSolver, InitStrategy};
 pub use brute::brute_force;
 pub use exact::{ExactConfig, ExactSolver};
-pub use kmedian::{kmedian_dp, KMedianResult};
+pub use incremental::{IncrementalObjective, PairwiseDistances};
+pub use kmedian::{kmedian_dp, kmedian_dp_cancellable, KMedianResult};
+pub use portfolio::{PortfolioConfig, PortfolioSolver};
 pub use problem::{BucketStats, HashingProblem, HashingSolution, SolverStats};
+pub use progress::{Ema, Ema2};

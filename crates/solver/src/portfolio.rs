@@ -1,0 +1,452 @@
+//! A racing solver portfolio.
+//!
+//! Training time in the paper's experiments is dominated by multi-start BCD,
+//! yet the restarts are embarrassingly parallel and — for the `λ = 1` case —
+//! an exact DP exists that sometimes beats the heuristic outright. The
+//! portfolio exploits both facts: it splits the configured BCD restarts over
+//! worker threads (restart `r` keeps the sequential run's seed `seed + r`,
+//! so the *set* of descents explored is identical) and simultaneously races
+//!
+//! * the frequency-only k-median DP (spawned only when the problem has no
+//!   similarity term, where the DP optimum is the global optimum), and
+//! * exhaustive enumeration (spawned only for tiny instances),
+//!
+//! against them. Whichever proven-optimal racer finishes first raises a
+//! cooperative [`AtomicBool`] that the BCD workers check at every sweep
+//! boundary, so the heuristic stops burning cycles the moment the race is
+//! decided. Proven racers never cancel *each other* — both always run to
+//! completion when spawned — which keeps the winning assignment
+//! deterministic.
+//!
+//! With the default configuration the portfolio is never worse than running
+//! the same restarts sequentially with aborts disabled: the workers run
+//! abort-free partitions of the identical restart set, and the extra racers
+//! can only add candidates. Setting
+//! [`PortfolioConfig::accept_objective`] trades that guarantee for latency:
+//! any worker reaching the threshold cancels the rest of the race.
+
+use crate::bcd::{BcdConfig, BcdSolver, RestartsOutcome};
+use crate::brute::brute_force;
+use crate::kmedian::solve_frequency_only_cancellable;
+use crate::problem::{HashingProblem, HashingSolution, SolverStats};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of the racing [`PortfolioSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioConfig {
+    /// Base BCD configuration. `bcd.restarts` is the *total* restart budget;
+    /// the portfolio partitions it into contiguous ranges across the worker
+    /// threads, preserving per-restart seeds.
+    pub bcd: BcdConfig,
+    /// Number of BCD worker threads; `0` lets the solver pick
+    /// `min(available parallelism, 8)`. Always clamped to the restart count.
+    pub workers: usize,
+    /// Race exhaustive enumeration when the instance has at most this many
+    /// elements (itself clamped to the hard `n ≤ 14` brute-force ceiling).
+    pub brute_force_limit: usize,
+    /// When the frequency-only DP races, the main thread waits for it to
+    /// finish — it proves optimality — as long as `n` is at most this;
+    /// beyond it the DP is cancelled once the BCD workers are done, so a
+    /// slow quadratic table never outlives the heuristic it was racing.
+    pub dp_wait_limit: usize,
+    /// Optional "good enough" threshold: the first worker whose best
+    /// objective reaches it cancels every other racer. Off (`None`) by
+    /// default because it makes the outcome timing-dependent.
+    pub accept_objective: Option<f64>,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            bcd: BcdConfig {
+                restarts: 4,
+                ..BcdConfig::default()
+            },
+            workers: 0,
+            brute_force_limit: 10,
+            dp_wait_limit: 2048,
+            accept_objective: None,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// Returns the configuration with warm-starting requested on the
+    /// underlying BCD workers (see [`BcdConfig::warm_start`]).
+    pub fn with_warm_start(mut self) -> Self {
+        self.bcd.warm_start = true;
+        self
+    }
+}
+
+/// Racing portfolio over parallel BCD restarts, the exact `λ = 1` DP and
+/// brute-force enumeration. See the module docs for the racing rules.
+#[derive(Debug, Clone)]
+pub struct PortfolioSolver {
+    config: PortfolioConfig,
+}
+
+/// One finished racer, normalized for winner selection. `objective` is
+/// recomputed from the assignment through [`HashingProblem::objective`] so
+/// every candidate is scored by the identical code path (a worker's
+/// incrementally maintained value could differ from the DP's closed form in
+/// the last few bits, which must not decide a race).
+struct Candidate {
+    assignment: Vec<usize>,
+    objective: f64,
+    proven_optimal: bool,
+    trajectory: Vec<f64>,
+    time_to_best: Duration,
+}
+
+impl PortfolioSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Self {
+        PortfolioSolver { config }
+    }
+
+    /// Creates a solver with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(PortfolioConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Races the portfolio and returns the best solution found.
+    pub fn solve(&self, problem: &HashingProblem) -> HashingSolution {
+        self.solve_inner(problem, None)
+    }
+
+    /// Like [`PortfolioSolver::solve`], but the worker holding restart 0
+    /// descends from `initial` (bucket indices clamped into range) instead of
+    /// the configured init strategy.
+    pub fn solve_from(&self, problem: &HashingProblem, initial: &[usize]) -> HashingSolution {
+        self.solve_inner(problem, Some(BcdSolver::clamp_warm(problem, initial)))
+    }
+
+    /// Warm-starts the race from an incumbent solution over the same element
+    /// set (the online re-training path).
+    pub fn solve_warm(
+        &self,
+        problem: &HashingProblem,
+        incumbent: &HashingSolution,
+    ) -> HashingSolution {
+        self.solve_from(problem, &incumbent.assignment)
+    }
+
+    fn solve_inner(&self, problem: &HashingProblem, warm: Option<Vec<usize>>) -> HashingSolution {
+        assert!(!problem.is_empty(), "cannot solve an empty problem");
+        let start = Instant::now();
+        let warm_started = warm.is_some();
+        let n = problem.len();
+        let restarts = self.config.bcd.restarts.max(1);
+        let workers = self.worker_count(restarts);
+        // Race the exact DP only when it will be awaited (small instance) or
+        // a spare core can run it for free: on a fully loaded host a DP that
+        // will just be cancelled once the heuristic finishes only steals CPU
+        // from the workers.
+        let spare_core = thread::available_parallelism().map_or(1, |p| p.get()) > workers;
+        let run_dp = !problem.uses_features() && (n <= self.config.dp_wait_limit || spare_core);
+        let run_brute = n <= self.config.brute_force_limit.min(14);
+        let accept = self.config.accept_objective;
+
+        // Two independent flags: `cancel` stops the heuristic workers,
+        // `dp_cancel` stops the DP. Proven racers raise only `cancel`, so
+        // they never truncate each other and the winner stays deterministic.
+        let cancel = AtomicBool::new(false);
+        let dp_cancel = AtomicBool::new(false);
+
+        let (outcomes, dp_sol, brute_sol) = thread::scope(|scope| {
+            let cancel = &cancel;
+            let dp_cancel = &dp_cancel;
+            let mut warm = warm;
+            let mut handles = Vec::with_capacity(workers);
+            for range in partition_restarts(restarts, workers) {
+                // The worker holding restart 0 seeds it with the incumbent,
+                // exactly as the sequential solver would.
+                let warm_for_worker = if range.start == 0 { warm.take() } else { None };
+                let solver = BcdSolver::new(self.config.bcd);
+                handles.push(scope.spawn(move || {
+                    let outcome =
+                        solver.run_restarts(problem, warm_for_worker, range, Some(cancel), false);
+                    if let Some(threshold) = accept {
+                        if outcome.objective <= threshold {
+                            cancel.store(true, Ordering::Relaxed);
+                            dp_cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    outcome
+                }));
+            }
+            let dp_handle = run_dp.then(|| {
+                scope.spawn(move || {
+                    let sol = solve_frequency_only_cancellable(problem, dp_cancel);
+                    if sol.is_some() {
+                        // The DP optimum is the global optimum here (no
+                        // similarity term): the race is decided.
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    sol
+                })
+            });
+            let brute_handle = run_brute.then(|| {
+                scope.spawn(move || {
+                    let sol = brute_force(problem);
+                    cancel.store(true, Ordering::Relaxed);
+                    sol
+                })
+            });
+
+            let outcomes: Vec<RestartsOutcome> = handles
+                .into_iter()
+                .map(|h| h.join().expect("BCD worker panicked"))
+                .collect();
+            let brute_sol = brute_handle.map(|h| h.join().expect("brute-force racer panicked"));
+            // The heuristic is done; only wait out a still-running DP when
+            // the instance is small enough that proving optimality is cheap.
+            if n > self.config.dp_wait_limit {
+                dp_cancel.store(true, Ordering::Relaxed);
+            }
+            let dp_sol = dp_handle.and_then(|h| h.join().expect("DP racer panicked"));
+            (outcomes, dp_sol, brute_sol)
+        });
+
+        // Winner selection in fixed racer order (DP, brute force, workers by
+        // index): the first strict minimum wins, so ties between the proven
+        // racers resolve the same way every run.
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(outcomes.len() + 2);
+        let mut total_sweeps = 0usize;
+        let mut moves_evaluated = 0u64;
+        let mut restarts_aborted = 0usize;
+        let mut restarts_run = 0usize;
+        for sol in [dp_sol, brute_sol].into_iter().flatten() {
+            moves_evaluated += sol.stats.moves_evaluated;
+            candidates.push(Candidate {
+                objective: problem.objective(&sol.assignment),
+                assignment: sol.assignment,
+                proven_optimal: sol.stats.proven_optimal,
+                trajectory: sol.stats.cost_trajectory,
+                time_to_best: sol.stats.time_to_best,
+            });
+        }
+        for outcome in outcomes {
+            total_sweeps += outcome.total_sweeps;
+            moves_evaluated += outcome.moves_evaluated;
+            restarts_aborted += outcome.restarts_aborted;
+            restarts_run += outcome.restarts_run;
+            candidates.push(Candidate {
+                objective: problem.objective(&outcome.assignment),
+                assignment: outcome.assignment,
+                proven_optimal: false,
+                trajectory: outcome.trajectory,
+                time_to_best: outcome.time_to_best,
+            });
+        }
+        // Strict `<` keeps the earliest racer on ties (DP before brute force
+        // before workers), which is what makes proven-racer ties stable.
+        let mut winner_idx = 0usize;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            if c.objective < candidates[winner_idx].objective {
+                winner_idx = i;
+            }
+        }
+        let winner = candidates.swap_remove(winner_idx);
+
+        let stats = SolverStats {
+            elapsed: start.elapsed(),
+            // `iterations` counts BCD sweeps across every worker; the DP and
+            // brute-force racers report their work through `moves_evaluated`.
+            iterations: total_sweeps,
+            proven_optimal: winner.proven_optimal,
+            // Restarts the workers actually started — fewer than configured
+            // when a proven racer decided the race early.
+            restarts: restarts_run,
+            initial_objective: winner
+                .trajectory
+                .first()
+                .copied()
+                .unwrap_or(winner.objective),
+            cost_trajectory: winner.trajectory,
+            warm_started,
+            moves_evaluated,
+            restarts_aborted,
+            time_to_best: winner.time_to_best,
+        };
+        problem.solution_from_assignment(winner.assignment, stats)
+    }
+
+    fn worker_count(&self, restarts: usize) -> usize {
+        let requested = if self.config.workers == 0 {
+            thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.config.workers
+        };
+        requested.clamp(1, restarts)
+    }
+}
+
+/// Splits `0..restarts` into `workers` contiguous, near-equal ranges.
+fn partition_restarts(restarts: usize, workers: usize) -> Vec<Range<usize>> {
+    let per = restarts / workers;
+    let extra = restarts % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = per + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmedian::solve_frequency_only;
+    use opthash_stream::Features;
+
+    fn noisy_problem(n: usize, b: usize, lambda: f64, seed: u64) -> HashingProblem {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64
+        };
+        let frequencies: Vec<f64> = (0..n).map(|_| next()).collect();
+        if lambda >= 1.0 {
+            HashingProblem::frequency_only(frequencies, b)
+        } else {
+            let features: Vec<Features> = (0..n)
+                .map(|_| Features::new(vec![next() / 100.0, next() / 100.0]))
+                .collect();
+            HashingProblem::new(frequencies, features, b, lambda)
+        }
+    }
+
+    #[test]
+    fn portfolio_never_worse_than_sequential_bcd_same_budget() {
+        // λ < 1 and n above the brute-force limit: no proven racer runs, so
+        // the workers cover exactly the sequential (abort-free) restart set.
+        let p = noisy_problem(60, 4, 0.5, 17);
+        let bcd = BcdConfig {
+            restarts: 6,
+            seed: 5,
+            ..BcdConfig::default().without_aborts()
+        };
+        let sequential = BcdSolver::new(bcd).solve(&p);
+        let raced = PortfolioSolver::new(PortfolioConfig {
+            bcd,
+            ..PortfolioConfig::default()
+        })
+        .solve(&p);
+        assert!(
+            raced.objective <= sequential.objective + 1e-9,
+            "portfolio {} vs sequential {}",
+            raced.objective,
+            sequential.objective
+        );
+    }
+
+    #[test]
+    fn dp_racer_proves_frequency_only_instances() {
+        let p = noisy_problem(120, 6, 1.0, 23);
+        let sol = PortfolioSolver::with_defaults().solve(&p);
+        assert!(sol.stats.proven_optimal, "DP racer should win λ=1 races");
+        let dp = solve_frequency_only(&p);
+        assert!(
+            (sol.objective - dp.objective).abs() < 1e-9,
+            "portfolio {} vs dp optimum {}",
+            sol.objective,
+            dp.objective
+        );
+    }
+
+    #[test]
+    fn brute_racer_proves_tiny_feature_instances() {
+        let p = noisy_problem(8, 3, 0.5, 31);
+        let sol = PortfolioSolver::with_defaults().solve(&p);
+        assert!(sol.stats.proven_optimal);
+        let brute = brute_force(&p);
+        assert!((sol.objective - brute.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_started_flag_survives_a_dp_win() {
+        let p = noisy_problem(100, 5, 1.0, 41);
+        let cold = PortfolioSolver::with_defaults().solve(&p);
+        let warm = PortfolioSolver::with_defaults().solve_warm(&p, &cold);
+        assert!(warm.stats.warm_started);
+        assert!(warm.objective <= cold.objective + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_when_no_timing_dependent_racer_runs() {
+        // Features ⇒ no DP; n > brute limit ⇒ no brute; accept off ⇒ no
+        // cross-worker cancellation. Two runs must agree bit for bit.
+        let p = noisy_problem(50, 4, 0.3, 53);
+        let config = PortfolioConfig {
+            bcd: BcdConfig {
+                restarts: 5,
+                seed: 9,
+                ..BcdConfig::default()
+            },
+            ..PortfolioConfig::default()
+        };
+        let a = PortfolioSolver::new(config).solve(&p);
+        let b = PortfolioSolver::new(config).solve(&p);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn accept_objective_still_returns_a_valid_solution() {
+        let p = noisy_problem(80, 4, 0.5, 61);
+        let sol = PortfolioSolver::new(PortfolioConfig {
+            accept_objective: Some(f64::INFINITY),
+            ..PortfolioConfig::default()
+        })
+        .solve(&p);
+        assert_eq!(sol.assignment.len(), p.len());
+        assert!(sol.assignment.iter().all(|&j| j < p.buckets));
+    }
+
+    #[test]
+    fn aggregates_work_counters_across_racers() {
+        let p = noisy_problem(40, 4, 1.0, 71);
+        let sol = PortfolioSolver::with_defaults().solve(&p);
+        assert!(sol.stats.iterations > 0, "worker sweeps must be counted");
+        assert!(sol.stats.moves_evaluated > 0);
+        assert!(sol.stats.time_to_best <= sol.stats.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty problem")]
+    fn empty_problem_panics() {
+        let p = HashingProblem::frequency_only(vec![], 2);
+        let _ = PortfolioSolver::with_defaults().solve(&p);
+    }
+
+    #[test]
+    fn restart_partition_covers_the_full_range() {
+        for (restarts, workers) in [(1, 1), (5, 2), (8, 3), (16, 8), (3, 3)] {
+            let ranges = partition_restarts(restarts, workers);
+            assert_eq!(ranges.len(), workers);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, restarts);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+}

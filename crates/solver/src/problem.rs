@@ -157,6 +157,16 @@ pub struct SolverStats {
     /// Whether the solve was warm-started from a caller-provided assignment
     /// (e.g. the incumbent scheme during online re-training).
     pub warm_started: bool,
+    /// Candidate moves (BCD), DP cells, or enumeration nodes evaluated —
+    /// the cheap always-on work counter every solver maintains.
+    pub moves_evaluated: u64,
+    /// Restarts cut short by the EMA stagnation check (multi-start BCD);
+    /// their leftover sweep budget is reallocated to the incumbent.
+    pub restarts_aborted: usize,
+    /// Wall-clock time from the start of the solve until the returned
+    /// solution was first discovered (≤ `elapsed`; the tail is spent proving
+    /// nothing better exists or letting other restarts/racers finish).
+    pub time_to_best: Duration,
 }
 
 /// A learned hashing scheme: the assignment `Z` of Problem (1) in dense form

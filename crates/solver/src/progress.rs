@@ -1,0 +1,164 @@
+//! Exponential-moving-average progress tracking for iterative solvers.
+//!
+//! The restart manager in [`crate::bcd`] needs a cheap, online answer to
+//! "how fast is this descent still improving?" so it can abort restarts that
+//! have no realistic chance of beating the incumbent. The machinery here is
+//! the calibrated EMA pair popularized by modern SAT solvers (the `Ema` /
+//! `Ema2` types of splr): a *fast* average over a short window reacts to the
+//! current sweep-to-sweep improvement, a *slow* average over a long window
+//! captures the trend of the whole descent, and the ratio of the two tells a
+//! stagnation check whether the run is still making progress relative to its
+//! own history.
+//!
+//! Both averages are *calibrated*: a plain EMA initialized at zero
+//! underestimates until it has seen roughly one window's worth of samples,
+//! so each update also advances a calibration factor and [`Ema::get`]
+//! divides by it. After `k` updates the returned value is the exact
+//! geometric-weight average of the `k` samples seen, with no cold-start
+//! bias.
+
+/// A calibrated exponential moving average over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Ema {
+    val: f64,
+    cal: f64,
+    sca: f64,
+}
+
+impl Ema {
+    /// Creates an EMA with an effective window of `window` samples
+    /// (smoothing factor `1 / window`).
+    pub fn new(window: usize) -> Self {
+        Ema {
+            val: 0.0,
+            cal: 0.0,
+            sca: 1.0 / window.max(1) as f64,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn update(&mut self, x: f64) {
+        self.val = self.sca * x + (1.0 - self.sca) * self.val;
+        self.cal = self.sca + (1.0 - self.sca) * self.cal;
+    }
+
+    /// The calibrated average of the samples seen so far (`0.0` before the
+    /// first update).
+    pub fn get(&self) -> f64 {
+        if self.cal == 0.0 {
+            0.0
+        } else {
+            self.val / self.cal
+        }
+    }
+
+    /// Number of samples after which the window is considered warmed up —
+    /// the calibration factor has reached `1 − 1/e` of its limit.
+    pub fn window(&self) -> usize {
+        (1.0 / self.sca) as usize
+    }
+}
+
+/// A fast/slow pair of calibrated EMAs over the same sample stream.
+///
+/// [`Ema2::get`] returns the fast average (the current rate);
+/// [`Ema2::trend`] returns `fast / slow`, which is `> 1` while the signal is
+/// accelerating relative to its history and decays below `1` as a descent
+/// stagnates.
+#[derive(Debug, Clone)]
+pub struct Ema2 {
+    fast: Ema,
+    slow: Ema,
+}
+
+impl Ema2 {
+    /// Creates the pair with the given fast and slow windows.
+    pub fn new(fast_window: usize, slow_window: usize) -> Self {
+        Ema2 {
+            fast: Ema::new(fast_window),
+            slow: Ema::new(slow_window.max(fast_window)),
+        }
+    }
+
+    /// Feeds one sample to both averages.
+    pub fn update(&mut self, x: f64) {
+        self.fast.update(x);
+        self.slow.update(x);
+    }
+
+    /// The fast calibrated average.
+    pub fn get(&self) -> f64 {
+        self.fast.get()
+    }
+
+    /// The slow calibrated average.
+    pub fn get_slow(&self) -> f64 {
+        self.slow.get()
+    }
+
+    /// `fast / slow`; `1.0` when the slow average is still zero.
+    pub fn trend(&self) -> f64 {
+        let slow = self.slow.get();
+        if slow == 0.0 {
+            1.0
+        } else {
+            self.fast.get() / slow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_is_reported_exactly_from_the_first_sample() {
+        let mut ema = Ema::new(8);
+        for _ in 0..3 {
+            ema.update(5.0);
+            // Calibration removes the cold-start bias entirely.
+            assert!((ema.get() - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_ema_reads_zero() {
+        assert_eq!(Ema::new(4).get(), 0.0);
+        assert_eq!(Ema2::new(4, 16).get(), 0.0);
+        assert_eq!(Ema2::new(4, 16).trend(), 1.0);
+    }
+
+    #[test]
+    fn fast_window_tracks_recent_samples_more_closely() {
+        let mut pair = Ema2::new(2, 32);
+        for _ in 0..32 {
+            pair.update(10.0);
+        }
+        for _ in 0..4 {
+            pair.update(0.0);
+        }
+        // The fast average has mostly forgotten the 10s; the slow one hasn't.
+        assert!(pair.get() < 2.0, "fast {}", pair.get());
+        assert!(pair.get_slow() > 5.0, "slow {}", pair.get_slow());
+        assert!(pair.trend() < 0.5, "trend {}", pair.trend());
+    }
+
+    #[test]
+    fn trend_rises_on_acceleration() {
+        let mut pair = Ema2::new(2, 16);
+        for _ in 0..16 {
+            pair.update(1.0);
+        }
+        for _ in 0..3 {
+            pair.update(10.0);
+        }
+        assert!(pair.trend() > 1.5, "trend {}", pair.trend());
+    }
+
+    #[test]
+    fn window_accessor_reports_configured_size() {
+        assert_eq!(Ema::new(16).window(), 16);
+        // zero-sized windows are clamped to one sample
+        assert_eq!(Ema::new(0).window(), 1);
+    }
+}

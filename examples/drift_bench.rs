@@ -128,6 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             retrain_interval: args.interval,
             min_distinct: 32,
             background: false, // deterministic: retrain inline on schedule
+            portfolio: false,
         },
     );
     let mut static_opthash = initial;

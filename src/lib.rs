@@ -52,7 +52,10 @@ pub mod prelude {
     pub use opthash_sketch::{
         BloomFilter, CountMinSketch, CountSketch, LearnedCountMin, MisraGries,
     };
-    pub use opthash_solver::{BcdConfig, ExactConfig, HashingProblem, HashingSolution};
+    pub use opthash_solver::{
+        BcdConfig, BcdSolver, ExactConfig, HashingProblem, HashingSolution, PortfolioConfig,
+        PortfolioSolver, SolverStats,
+    };
     pub use opthash_stream::{
         ElementId, ErrorMetrics, Features, FrequencyEstimator, FrequencyVector, SpaceBudget,
         Stream, StreamElement, StreamPrefix,

@@ -73,6 +73,7 @@ fn retraining_engine_tracks_drift_better_than_static_schemes() {
             retrain_interval: 900,
             min_distinct: 16,
             background: false,
+            portfolio: false,
         },
     );
     let mut static_opthash = initial;
@@ -227,6 +228,7 @@ fn background_retraining_publishes_without_stalling() {
             retrain_interval: 500,
             min_distinct: 16,
             background: true,
+            portfolio: false,
         },
     );
     for epoch in 0..workload.config().epochs {

@@ -6,6 +6,7 @@
 
 use opthash_solver::{
     brute_force, kmedian, BcdConfig, BcdSolver, ExactConfig, ExactSolver, HashingProblem,
+    IncrementalObjective, PortfolioConfig, PortfolioSolver,
 };
 use opthash_stream::{assignment_errors, Features};
 use proptest::prelude::*;
@@ -223,6 +224,82 @@ proptest! {
         prop_assert!(trajectory.windows(2).all(|w| w[1] <= w[0] + 1e-9),
             "cost trajectory must be non-increasing: {:?}", trajectory);
         prop_assert!((trajectory[trajectory.len() - 1] - warm.objective).abs() < 1e-9);
+    }
+
+    /// The incrementally maintained objective of the BCD descent's
+    /// sufficient statistics equals a from-scratch recompute after an
+    /// arbitrary sequence of committed moves — the invariant the whole
+    /// incremental-cost rewrite stands on.
+    #[test]
+    fn incremental_objective_matches_recompute_after_arbitrary_moves(
+        freqs in frequencies(20),
+        buckets in 2usize..5,
+        lambda_percent in prop::sample::select(vec![0u8, 30, 100]),
+        moves in prop::collection::vec(0usize..10_000, 1..60),
+    ) {
+        let lambda = f64::from(lambda_percent) / 100.0;
+        let n = freqs.len();
+        let features = if lambda < 1.0 { features_for(&freqs) } else { Vec::new() };
+        let problem = HashingProblem::new(freqs, features, buckets, lambda);
+        let mut inc = IncrementalObjective::new(&problem, vec![0; n]);
+        for &packed in &moves {
+            // Each generated integer encodes one (element, bucket) move.
+            let (i, j) = (packed % n, (packed / n) % buckets);
+            let before = inc.objective();
+            let predicted = inc.eval_move(i, j);
+            inc.commit(i, j);
+            let actual = inc.objective() - before;
+            prop_assert!((predicted - actual).abs() < 1e-6,
+                "move {i}->{j}: predicted delta {predicted} vs actual {actual}");
+            let truth = inc.recomputed_objective();
+            prop_assert!((inc.objective() - truth).abs() < 1e-6 * truth.abs().max(1.0),
+                "maintained {} drifted from recompute {truth}", inc.objective());
+        }
+    }
+
+    /// The racing portfolio runs (at least) the same restarts as a
+    /// sequential no-abort BCD with the same budget, so its result can never
+    /// be worse — racers only add candidates.
+    #[test]
+    fn portfolio_never_loses_to_sequential_bcd(
+        freqs in frequencies(16),
+        buckets in 2usize..5,
+        seed in 0u64..20,
+        lambda_percent in prop::sample::select(vec![50u8, 100]),
+    ) {
+        let lambda = f64::from(lambda_percent) / 100.0;
+        let features = if lambda < 1.0 { features_for(&freqs) } else { Vec::new() };
+        let problem = HashingProblem::new(freqs, features, buckets, lambda);
+        let config = BcdConfig { restarts: 2, seed, ..BcdConfig::default() }.without_aborts();
+        let sequential = BcdSolver::new(config).solve(&problem);
+        let portfolio = PortfolioSolver::new(PortfolioConfig {
+            bcd: config,
+            ..PortfolioConfig::default()
+        })
+        .solve(&problem);
+        prop_assert!(portfolio.objective <= sequential.objective + 1e-9,
+            "portfolio {} lost to sequential bcd {}",
+            portfolio.objective, sequential.objective);
+    }
+
+    /// The non-racing path stays deterministic: the same seed produces the
+    /// same assignment, objective, and sweep count run-over-run (hot-swap
+    /// reproducibility of the online engine depends on this).
+    #[test]
+    fn bcd_is_deterministic_given_a_seed(
+        freqs in frequencies(16),
+        buckets in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        let problem = HashingProblem::frequency_only(freqs, buckets);
+        let solver = BcdSolver::new(BcdConfig { restarts: 3, seed, ..BcdConfig::default() });
+        let a = solver.solve(&problem);
+        let b = solver.solve(&problem);
+        prop_assert_eq!(a.assignment, b.assignment);
+        prop_assert_eq!(a.objective, b.objective);
+        prop_assert_eq!(a.stats.iterations, b.stats.iterations);
+        prop_assert_eq!(a.stats.moves_evaluated, b.stats.moves_evaluated);
+        prop_assert_eq!(a.stats.restarts_aborted, b.stats.restarts_aborted);
     }
 
     /// The similarity term never goes negative and vanishes when λ = 1.
