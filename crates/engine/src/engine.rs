@@ -4,6 +4,9 @@ use crate::backend::SketchBackend;
 use crate::error::EngineError;
 use crate::fault::{self, FaultEvent, FaultInjector, FaultLog, SharedFaultLog};
 use crate::queue::{BatchData, QueuedBatch, ShardChannel, ShardCounters};
+use crate::snapshot::{
+    BaseSlot, EpochStamp, PublishedSlot, SnapshotEstimate, SnapshotHub, SnapshotReader,
+};
 use crate::worker::{apply_batch, apply_batch_injected, spawn_worker, ShardHandle, WorkerConfig};
 use opthash::MassLedger;
 use opthash_stream::{SpaceReport, Stream, StreamElement};
@@ -432,6 +435,13 @@ enum ModeState<B: SketchBackend> {
         poisoned: Vec<bool>,
         counters: ShardCounters,
         quarantined: Vec<Arc<BatchData>>,
+        /// Count mass applied into each shard backend under the current
+        /// scheme version — what an inline snapshot publication stamps.
+        applied_mass: Vec<u64>,
+        /// Mass last published to each shard's query-snapshot slot; a flush
+        /// republishes only shards whose applied mass moved, so idle shards
+        /// pay no clone.
+        published_mass: Vec<u64>,
     },
     Workers {
         handles: Vec<ShardHandle<B>>,
@@ -453,9 +463,21 @@ enum DispatchOutcome {
 /// through a bounded queue to the shard's **persistent worker thread**, so
 /// application overlaps ingestion and all cores stay busy between flushes;
 /// overload behaviour is governed by the configured [`BackpressurePolicy`].
-/// Queries flush, sync every worker to a consistent checkpoint, and merge
-/// the shard snapshots into a single estimator (cached until the next
-/// ingest).
+///
+/// # Two read paths
+///
+/// * [`IngestEngine::query`] is **wait-free**: it answers from the latest
+///   epoch-stamped snapshot set the workers have published (see
+///   [`crate::snapshot`]), never touching the flush barrier, and returns a
+///   [`SnapshotEstimate`] whose [`EpochStamp`] says exactly which prefix
+///   of the stream it observed. [`IngestEngine::snapshot_reader`] hands
+///   the same capability to other threads.
+/// * [`IngestEngine::query_synced`] is **barrier-synced**: it flushes,
+///   waits for every worker to checkpoint, and merges the shard snapshots
+///   (cached until the next ingest), so the answer covers every admitted
+///   arrival.
+///
+/// After a flush with no further ingestion the two paths agree exactly.
 ///
 /// # Robustness
 ///
@@ -482,14 +504,18 @@ enum DispatchOutcome {
 ///
 /// The engine keeps `2 × shards + 1` copies of the backend's counter state
 /// in worker mode (the pristine base, plus each shard's checkpoint snapshot
-/// and worker scratch copy), plus up to
+/// and worker scratch copy — the published query snapshot shares the
+/// checkpoint's allocation), plus up to
 /// `queue_capacity + checkpoint_interval` batches per shard in flight,
-/// trading memory for ingest throughput and crash recoverability.
+/// trading memory for ingest throughput and crash recoverability. Each live
+/// [`SnapshotReader`] additionally caches one merged view.
 pub struct IngestEngine<B: SketchBackend> {
     base: B,
     buffers: Vec<BatchBuffer>,
     mode: ModeState<B>,
     merged: Option<B>,
+    hub: Arc<SnapshotHub<B>>,
+    reader: SnapshotReader<B>,
     config: EngineConfig,
     elements: MassLedger,
     mass: MassLedger,
@@ -521,18 +547,39 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             .collect();
         let faults = FaultInjector::new();
         let fault_log: SharedFaultLog = Arc::new(Mutex::new(FaultLog::default()));
+        // Every shard's query-snapshot slot and channel snapshot is seeded
+        // with ONE shared empty fork (both only ever replace the `Arc`
+        // wholesale, never write through it, so sharing is sound); the
+        // hub's base starts as a copy of the (possibly pre-trained) backend
+        // at scheme version 0. Sharing keeps construction at a single fork
+        // regardless of shard count — engine construction sits inside
+        // latency-sensitive paths like the bench's per-pass setup.
+        let blank = Arc::new(backend.fork());
+        let slots: Vec<Arc<PublishedSlot<B>>> = (0..config.shards)
+            .map(|_| Arc::new(PublishedSlot::new(Arc::clone(&blank))))
+            .collect();
+        let hub = Arc::new(SnapshotHub {
+            base: BaseSlot::new(Arc::new(backend.clone())),
+            shards: slots.clone(),
+        });
+        let reader = SnapshotReader::new(Arc::clone(&hub));
         let mode = match config.mode {
             IngestMode::Inline => ModeState::Inline {
                 shards: (0..config.shards).map(|_| backend.fork()).collect(),
                 poisoned: vec![false; config.shards],
                 counters: ShardCounters::default(),
                 quarantined: Vec::new(),
+                applied_mass: vec![0; config.shards],
+                published_mass: vec![0; config.shards],
             },
             IngestMode::Workers => {
                 let handles = (0..config.shards)
                     .map(|shard| {
-                        let cell =
-                            Arc::new(ShardChannel::new(backend.fork(), config.queue_capacity));
+                        let cell = Arc::new(ShardChannel::new(
+                            Arc::clone(&blank),
+                            config.queue_capacity,
+                            Arc::clone(&slots[shard]),
+                        ));
                         let thread = spawn_worker(
                             Arc::clone(&cell),
                             Arc::clone(&fault_log),
@@ -560,6 +607,8 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             buffers,
             mode,
             merged: None,
+            hub,
+            reader,
             config,
             elements: MassLedger::default(),
             mass: MassLedger::default(),
@@ -600,6 +649,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
     /// A consistent snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         let mut counters = ShardCounters::default();
+        let mut queued_mass = 0u64;
         match &self.mode {
             ModeState::Inline {
                 counters: inline, ..
@@ -608,6 +658,11 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                 for handle in handles {
                     let inner = handle.cell.lock_always();
                     counters.absorb(&inner.counters);
+                    // Read under the control lock: the worker only debits
+                    // queued mass while holding it, and the engine (the
+                    // only thread crediting) is the caller — so the ledger
+                    // identity holds at this instant.
+                    queued_mass += handle.cell.queued_mass();
                 }
             }
         }
@@ -618,7 +673,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             flushes: self.flushes,
             applied_updates: counters.applied_updates,
             applied_mass: counters.applied_mass,
-            queued_mass: counters.queued_mass,
+            queued_mass,
             quarantined_updates: counters.quarantined_updates,
             quarantined_mass: counters.quarantined_mass,
             batch_failures: counters.batch_failures,
@@ -904,6 +959,8 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             poisoned,
             counters,
             quarantined,
+            applied_mass,
+            ..
         } = &mut self.mode
         else {
             unreachable!("caller checked the mode")
@@ -921,6 +978,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             Ok(()) => {
                 counters.applied_updates += batch.updates.len() as u64;
                 counters.applied_mass += batch.mass;
+                applied_mass[shard] += batch.mass;
                 Ok(DispatchOutcome::Dispatched)
             }
             Err(_) => {
@@ -1071,6 +1129,8 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
             poisoned,
             counters,
             quarantined,
+            applied_mass,
+            published_mass,
         } = &mut self.mode
         else {
             unreachable!("caller checked the mode")
@@ -1125,6 +1185,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                 Ok(()) => {
                     counters.applied_updates += batch.updates.len() as u64;
                     counters.applied_mass += batch.mass;
+                    applied_mass[shard] += batch.mass;
                 }
                 Err(()) => {
                     poisoned[shard] = true;
@@ -1136,6 +1197,18 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                     first_err.get_or_insert(EngineError::ShardPoisoned { shard });
                 }
             }
+        }
+        // Inline mode has no workers to publish query snapshots, so the
+        // flush is the publication point: every shard whose applied mass
+        // moved (whether here or in an earlier mid-ingest dispatch) gets a
+        // fresh snapshot in its slot. Poisoned shards keep their last
+        // consistent publication.
+        for (shard, backend) in shards.iter().enumerate() {
+            if poisoned[shard] || applied_mass[shard] == published_mass[shard] {
+                continue;
+            }
+            self.hub.shards[shard].publish(Arc::new(backend.clone()), applied_mass[shard]);
+            published_mass[shard] = applied_mass[shard];
         }
         match first_err {
             Some(err) => Err(err),
@@ -1224,21 +1297,39 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                     first_err.get_or_insert(err);
                 }
                 let ModeState::Inline {
-                    shards, poisoned, ..
+                    shards,
+                    poisoned,
+                    applied_mass,
+                    published_mass,
+                    ..
                 } = &mut self.mode
                 else {
                     unreachable!("mode cannot change")
                 };
+                let version = self.scheme_version + 1;
                 let mut retired = std::mem::replace(&mut self.base, new_base);
                 for (shard, backend) in shards.iter_mut().enumerate() {
                     if poisoned[shard] {
                         first_err.get_or_insert(EngineError::ShardPoisoned { shard });
                         continue;
                     }
-                    retired.merge(backend);
-                    *backend = self.base.fork();
+                    let old = Arc::new(std::mem::replace(backend, self.base.fork()));
+                    retired.merge(&old);
+                    // Publish the swap to the query-snapshot slot: the
+                    // retired delta stays readable (as `prev`) until the
+                    // base below advances, so a concurrent reader always
+                    // assembles one scheme version, never a mix.
+                    self.hub.shards[shard].publish_swap(
+                        version,
+                        Arc::new(backend.clone()),
+                        applied_mass[shard],
+                        old,
+                    );
+                    applied_mass[shard] = 0;
+                    published_mass[shard] = 0;
                 }
-                self.scheme_version += 1;
+                self.scheme_version = version;
+                self.hub.base.store(version, Arc::new(self.base.clone()));
                 match first_err {
                     Some(err) => Err(err),
                     None => Ok(retired),
@@ -1266,8 +1357,9 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                         .map(|handle| Arc::clone(&handle.cell))
                         .collect()
                 };
+                let version = self.scheme_version + 1;
                 for cell in &cells {
-                    cell.request_swap(Arc::clone(&shared));
+                    cell.request_swap(version, Arc::clone(&shared));
                 }
                 for (shard, cell) in cells.iter().enumerate() {
                     loop {
@@ -1289,7 +1381,13 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                         retired.merge(&delta);
                     }
                 }
-                self.scheme_version += 1;
+                self.scheme_version = version;
+                // Advance the snapshot base only now, after every healthy
+                // shard has published its new-scheme slot: a reader that
+                // loads the old base still finds each shard's pre-swap
+                // delta retained as `prev`, so no stamp ever mixes scheme
+                // versions.
+                self.hub.base.store(version, shared);
                 // Every admitted arrival is either applied (inside the
                 // retired backend), quarantined, or was just re-forked away
                 // — the fresh snapshots cover all future state, so no flush
@@ -1345,7 +1443,7 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                         if inner.poisoned {
                             return Err(EngineError::ShardPoisoned { shard });
                         }
-                        merged.merge(&inner.snapshot);
+                        merged.merge(inner.snapshot.as_ref());
                     }
                 }
             }
@@ -1354,15 +1452,50 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
         Ok(self.merged.as_ref().expect("merged view just built"))
     }
 
+    /// Estimates the frequency of `element` **without waiting on
+    /// ingestion**: the answer comes from the latest epoch-stamped snapshot
+    /// set the shard workers have published, never from behind the flush
+    /// barrier. Mass still buffered, queued, or applied-but-not-yet-
+    /// checkpointed is not visible; the returned [`EpochStamp`] says
+    /// exactly which prefix was (see [`crate::snapshot`] for the full
+    /// contract, including why a stamp never mixes scheme versions).
+    ///
+    /// Infallible by design: even a poisoned shard leaves its last
+    /// consistent publication in place, so a wait-free read always has
+    /// something sound to answer from. Use [`IngestEngine::query_synced`]
+    /// when the answer must cover every admitted arrival (it also surfaces
+    /// poisoning as an error).
+    pub fn query(&self, element: &StreamElement) -> SnapshotEstimate {
+        self.reader.query(element)
+    }
+
     /// Returns the estimated frequency of `element`, flushing and merging
-    /// first so the answer reflects every admitted arrival.
+    /// first so the answer reflects every admitted arrival. This is the
+    /// barrier-synced read path: it waits for every shard worker to drain
+    /// and checkpoint, trading latency for completeness — the wait-free
+    /// counterpart is [`IngestEngine::query`].
     ///
     /// # Errors
     ///
     /// [`EngineError::ShardPoisoned`] if a shard is fenced off: the engine
     /// reports the corruption instead of answering from wrong counts.
-    pub fn query(&mut self, element: &StreamElement) -> Result<f64, EngineError> {
+    pub fn query_synced(&mut self, element: &StreamElement) -> Result<f64, EngineError> {
         Ok(self.merged()?.query(element))
+    }
+
+    /// A cloneable, `Send + Sync` handle for issuing wait-free snapshot
+    /// queries from other threads while this engine ingests. Readers stay
+    /// valid (serving the last published snapshots) even after the engine
+    /// is finished or dropped.
+    pub fn snapshot_reader(&self) -> SnapshotReader<B> {
+        self.reader.clone()
+    }
+
+    /// The [`EpochStamp`] a wait-free [`IngestEngine::query`] issued now
+    /// would carry: which scheme version, per-shard epochs, and applied
+    /// mass the published snapshot set currently covers.
+    pub fn snapshot_stamp(&self) -> EpochStamp {
+        self.reader.stamp()
     }
 
     /// Flushes, merges every shard into the base and returns the final
@@ -1423,37 +1556,42 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                     // the journal onto the snapshot, then apply whatever the
                     // worker never got to — each leftover batch on a trial
                     // clone, so one that still panics is quarantined without
-                    // corrupting the rebuilt state.
+                    // corrupting the rebuilt state. Draining the ring is
+                    // sound: the worker thread was joined above, so the
+                    // consumer role has passed to this thread.
                     if !inner.journal.is_empty()
                         || inner.inflight.is_some()
-                        || !inner.queue.is_empty()
+                        || !inner.retry.is_empty()
+                        || handle.cell.has_undrained()
                     {
-                        let mut state = inner.snapshot.clone();
+                        let mut state = (*inner.snapshot).clone();
                         for batch in inner.journal.drain(..) {
                             apply_batch(&mut state, &batch);
                         }
-                        let leftovers: Vec<QueuedBatch> = inner
+                        let mut leftovers: Vec<QueuedBatch> = inner
                             .inflight
                             .take()
                             .into_iter()
-                            .chain(inner.queue.drain(..))
+                            .chain(inner.retry.drain(..))
                             .collect();
+                        while let Some(data) = handle.cell.pop_after_join() {
+                            leftovers.push(QueuedBatch { data, attempts: 0 });
+                        }
                         for batch in leftovers {
                             let mut trial = state.clone();
                             let applied = catch_unwind(AssertUnwindSafe(|| {
                                 apply_batch(&mut trial, &batch.data);
                             }));
+                            handle.cell.debit_queued_mass(batch.data.mass);
                             match applied {
                                 Ok(()) => {
                                     state = trial;
                                     inner.counters.applied_updates +=
                                         batch.data.updates.len() as u64;
                                     inner.counters.applied_mass += batch.data.mass;
-                                    inner.counters.queued_mass -= batch.data.mass;
                                 }
                                 Err(_) => {
                                     inner.counters.batch_failures += 1;
-                                    inner.counters.queued_mass -= batch.data.mass;
                                     inner.counters.quarantined_updates +=
                                         batch.data.updates.len() as u64;
                                     inner.counters.quarantined_mass += batch.data.mass;
@@ -1469,9 +1607,9 @@ impl<B: SketchBackend + 'static> IngestEngine<B> {
                                 }
                             }
                         }
-                        inner.snapshot = state;
+                        inner.snapshot = Arc::new(state);
                     }
-                    self.base.merge(&inner.snapshot);
+                    self.base.merge(inner.snapshot.as_ref());
                 }
             }
         }
@@ -1507,7 +1645,7 @@ mod tests {
         }
         for id in 0..600u64 {
             assert_eq!(
-                engine.query(&element(id)).unwrap(),
+                engine.query_synced(&element(id)).unwrap(),
                 CountMinSketch::query(&sequential, ElementId(id)) as f64,
                 "mismatch for {id}"
             );
@@ -1546,8 +1684,8 @@ mod tests {
         }
         for id in 0..250u64 {
             assert_eq!(
-                workers.query(&element(id)).unwrap(),
-                inline.query(&element(id)).unwrap(),
+                workers.query_synced(&element(id)).unwrap(),
+                inline.query_synced(&element(id)).unwrap(),
                 "mode mismatch for {id}"
             );
         }
@@ -1584,8 +1722,8 @@ mod tests {
         }
         for id in 0..60u64 {
             assert_eq!(
-                weighted.query(&element(id)).unwrap(),
-                repeated.query(&element(id)).unwrap()
+                weighted.query_synced(&element(id)).unwrap(),
+                repeated.query_synced(&element(id)).unwrap()
             );
         }
     }
@@ -1597,9 +1735,9 @@ mod tests {
             EngineConfig::with_shards(2).batch_capacity(1024),
         );
         engine.ingest(&element(42)).unwrap();
-        assert_eq!(engine.query(&element(42)).unwrap(), 1.0);
+        assert_eq!(engine.query_synced(&element(42)).unwrap(), 1.0);
         engine.ingest(&element(42)).unwrap();
-        assert_eq!(engine.query(&element(42)).unwrap(), 2.0);
+        assert_eq!(engine.query_synced(&element(42)).unwrap(), 2.0);
         assert_eq!(engine.stats().flushes, 2, "each query forces a flush");
     }
 
@@ -1634,7 +1772,7 @@ mod tests {
         // Zero-weight updates carry no mass: the ledgers never saw them.
         assert_eq!(stats.mass.offered, 2);
         assert!(stats.conserved());
-        assert_eq!(engine.query(&element(7)).unwrap(), 2.0);
+        assert_eq!(engine.query_synced(&element(7)).unwrap(), 2.0);
     }
 
     #[test]
@@ -1664,8 +1802,34 @@ mod tests {
         assert_eq!(stats.unaccounted_mass(), 0);
         for id in (0..2_000u64).step_by(97) {
             assert_eq!(
-                engine.query(&element(id)).unwrap(),
+                engine.query_synced(&element(id)).unwrap(),
                 CountMinSketch::query(&sequential, ElementId(id)) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_query_agrees_with_synced_query_after_flush() {
+        for mode in [IngestMode::Workers, IngestMode::Inline] {
+            let mut engine = IngestEngine::new(
+                CountMinSketch::new(128, 4, 7),
+                EngineConfig::with_shards(3).batch_capacity(32).mode(mode),
+            );
+            for id in 0..2_000u64 {
+                engine.ingest(&element(id % 150)).unwrap();
+            }
+            engine.flush().unwrap();
+            for id in 0..200u64 {
+                let snapshot = engine.query(&element(id));
+                let synced = engine.query_synced(&element(id)).unwrap();
+                assert_eq!(snapshot.estimate, synced, "post-flush agreement for {id}");
+            }
+            let stamp = engine.snapshot_stamp();
+            assert_eq!(stamp.scheme_version, 0);
+            assert_eq!(stamp.epoch_per_shard.len(), 3);
+            assert_eq!(
+                stamp.mass_accounted, 2_000,
+                "a flushed stamp covers all mass"
             );
         }
     }

@@ -208,7 +208,7 @@ impl FaultInjector {
     /// }
     /// // Count-Min never under-counts: 200 arrivals of each id survived
     /// // the crash (count-min may over-count on collisions, never under).
-    /// assert!(engine.query(&StreamElement::without_features(7u64))? >= 200.0);
+    /// assert!(engine.query_synced(&StreamElement::without_features(7u64))? >= 200.0);
     /// // The recovery is visible, not silent.
     /// assert!(engine.fault_log().worker_restarts() >= 1);
     /// let stats = engine.stats();

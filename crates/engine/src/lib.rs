@@ -15,8 +15,11 @@
 //!   weighted update — on the Zipfian streams the paper studies most
 //!   arrivals are duplicates), and streams full batches through bounded
 //!   queues to persistent per-shard worker threads, so application overlaps
-//!   ingestion. Queries sync every shard to a consistent checkpoint and
-//!   merge the shard deltas.
+//!   ingestion. Reads come in two flavours: wait-free epoch-stamped
+//!   snapshot queries ([`IngestEngine::query`], [`SnapshotReader`]) that
+//!   never touch the flush barrier, and barrier-synced queries
+//!   ([`IngestEngine::query_synced`]) that flush, sync every shard to a
+//!   consistent checkpoint, and merge the shard deltas.
 //!
 //! Sharding by ID makes the engine *exact* for the linear backends and for
 //! the adaptive estimator: queries of a sharded engine equal those of the
@@ -78,8 +81,42 @@
 //! assert_eq!(retired.query(5u64.into()), 100);
 //! assert_eq!(engine.scheme_version(), 1);
 //! engine.ingest(&StreamElement::without_features(5u64))?;
-//! assert_eq!(engine.query(&StreamElement::without_features(5u64))?, 1.0);
+//! assert_eq!(engine.query_synced(&StreamElement::without_features(5u64))?, 1.0);
 //! assert_eq!(engine.stats().unaccounted_mass(), 0);
+//! # Ok::<(), opthash_engine::EngineError>(())
+//! ```
+//!
+//! Wait-free reads: [`IngestEngine::query`] answers from the latest
+//! published snapshot set without waiting on ingestion, stamped with the
+//! per-shard epochs and mass it covers, and [`SnapshotReader`] hands that
+//! capability to concurrent reader threads:
+//!
+//! ```
+//! use opthash_engine::{EngineConfig, IngestEngine};
+//! use opthash_sketch::CountMinSketch;
+//! use opthash_stream::StreamElement;
+//!
+//! let mut engine = IngestEngine::new(
+//!     CountMinSketch::new(1024, 4, 7),
+//!     EngineConfig::with_shards(2),
+//! );
+//! for id in 0..5_000u64 {
+//!     engine.ingest(&StreamElement::without_features(id % 50))?;
+//! }
+//! engine.flush()?;
+//! // `query` needs no `&mut` and cannot block behind the flush barrier.
+//! let answer = engine.query(&StreamElement::without_features(7u64));
+//! assert_eq!(answer.estimate, 100.0);
+//! assert_eq!(answer.stamp.scheme_version, 0);
+//! assert_eq!(answer.stamp.mass_accounted, 5_000); // post-flush: everything
+//! // A cloneable reader serves other threads, outliving even the engine.
+//! let reader = engine.snapshot_reader();
+//! let from_thread = std::thread::spawn(move || {
+//!     reader.query(&StreamElement::without_features(7u64)).estimate
+//! })
+//! .join()
+//! .unwrap();
+//! assert_eq!(from_thread, 100.0);
 //! # Ok::<(), opthash_engine::EngineError>(())
 //! ```
 //!
@@ -93,7 +130,7 @@
 //! for id in 0..10_000u64 {
 //!     engine.ingest(&StreamElement::without_features(id % 100))?;
 //! }
-//! let hot = engine.query(&StreamElement::without_features(5u64))?;
+//! let hot = engine.query_synced(&StreamElement::without_features(5u64))?;
 //! assert_eq!(hot, 100.0);
 //! // The engine aggregated the 100 duplicate arrivals of each ID.
 //! assert!(engine.stats().aggregation_factor() > 1.0);
@@ -109,6 +146,7 @@ pub mod error;
 pub mod fault;
 mod queue;
 pub mod retrain;
+pub mod snapshot;
 mod worker;
 
 pub use backend::SketchBackend;
@@ -118,3 +156,4 @@ pub use error::EngineError;
 pub use fault::{FaultAction, FaultPlan};
 pub use fault::{FaultEvent, FaultInjector, FaultLog};
 pub use retrain::{RetrainConfig, RetrainStats, Retrainer, TrainedScheme};
+pub use snapshot::{EpochStamp, SnapshotEstimate, SnapshotReader};

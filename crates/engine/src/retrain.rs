@@ -278,7 +278,7 @@ impl Retrainer {
     /// Queries the live engine (flushing so the answer covers every
     /// admitted arrival).
     pub fn query(&mut self, element: &StreamElement) -> Result<f64, EngineError> {
-        self.engine.query(element)
+        self.engine.query_synced(element)
     }
 
     /// Awaits any in-flight solve, publishes it, and finishes the engine,

@@ -123,8 +123,10 @@ fn run_worker<B: SketchBackend>(
 ) {
     let shard = config.shard;
     // Bootstrap (and rebuild, for a replacement worker): scratch state is
-    // the last consistent snapshot plus the journal replayed in order.
-    let Some(mut scratch) = rebuild_scratch(&cell) else {
+    // the last consistent snapshot plus the journal replayed in order; the
+    // mass tally rides along so every published snapshot carries the
+    // applied mass it accounts for.
+    let Some((mut scratch, mut scratch_mass)) = rebuild_scratch(&cell) else {
         return; // shard poisoned: nothing a worker can safely do
     };
     let mut since_checkpoint = 0u32;
@@ -135,23 +137,29 @@ fn run_worker<B: SketchBackend>(
                 // Final checkpoint by move: the queue is already drained
                 // (`next_event` prefers batches over shutdown), so scratch
                 // covers every dispatched batch and no clone is needed.
-                cell.publish_exit(scratch);
+                cell.publish_exit(scratch, scratch_mass);
                 return;
             }
-            WorkerEvent::Swap(new_base) => {
+            WorkerEvent::Swap { version, base } => {
                 // A panic here (the `worker::swap` failpoint) escapes the
                 // loop and kills the worker *before* anything changed: the
                 // request is still pending, so the supervisor's replacement
                 // worker rebuilds the old scratch and redoes the swap.
                 faults.hit_at("worker::swap", Some(shard));
-                let fresh = new_base.fork();
+                let fresh = base.fork();
                 let retired = std::mem::replace(&mut scratch, fresh);
-                cell.complete_swap(scratch.clone(), retired);
+                cell.complete_swap(
+                    version,
+                    Arc::new(scratch.clone()),
+                    Arc::new(retired),
+                    scratch_mass,
+                );
+                scratch_mass = 0;
                 since_checkpoint = 0;
             }
             WorkerEvent::Sync(epoch) => {
-                let snapshot = scratch.clone();
-                cell.checkpoint(snapshot, Some(epoch), || {
+                let snapshot = Arc::new(scratch.clone());
+                cell.checkpoint(snapshot, scratch_mass, Some(epoch), || {
                     faults.hit_at("worker::checkpoint", Some(shard));
                 });
                 since_checkpoint = 0;
@@ -168,11 +176,13 @@ fn run_worker<B: SketchBackend>(
                         // scratch excludes it and the supervisor requeues it,
                         // so it is applied exactly once either way.
                         faults.hit_at("worker::before_commit", Some(shard));
+                        let mass = batch.data.mass;
                         cell.commit(batch);
+                        scratch_mass += mass;
                         since_checkpoint += 1;
                         if since_checkpoint >= config.checkpoint_interval {
-                            let snapshot = scratch.clone();
-                            cell.checkpoint(snapshot, None, || {
+                            let snapshot = Arc::new(scratch.clone());
+                            cell.checkpoint(snapshot, scratch_mass, None, || {
                                 faults.hit_at("worker::checkpoint", Some(shard));
                             });
                             since_checkpoint = 0;
@@ -201,10 +211,11 @@ fn run_worker<B: SketchBackend>(
                             ),
                             FailDisposition::Idle => {}
                         }
-                        let Some(rebuilt) = rebuild_scratch(&cell) else {
+                        let Some((rebuilt, rebuilt_mass)) = rebuild_scratch(&cell) else {
                             return;
                         };
                         scratch = rebuilt;
+                        scratch_mass = rebuilt_mass;
                         since_checkpoint = 0;
                     }
                 }
@@ -213,10 +224,11 @@ fn run_worker<B: SketchBackend>(
     }
 }
 
-fn rebuild_scratch<B: SketchBackend>(cell: &ShardChannel<B>) -> Option<B> {
-    let (mut scratch, journal) = cell.recovery_state()?;
+fn rebuild_scratch<B: SketchBackend>(cell: &ShardChannel<B>) -> Option<(B, u64)> {
+    let (mut scratch, mut mass, journal) = cell.recovery_state()?;
     for batch in &journal {
         apply_batch(&mut scratch, batch);
+        mass += batch.mass;
     }
-    Some(scratch)
+    Some((scratch, mass))
 }

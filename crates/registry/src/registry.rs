@@ -461,7 +461,7 @@ impl Tenant {
             .map_or(0.0, |sketch| SketchBackend::query(sketch, element));
         let live = match &mut self.state {
             TenantState::Direct(sketch) => SketchBackend::query(sketch, element),
-            TenantState::Sharded(engine) => engine.query(element)?,
+            TenantState::Sharded(engine) => engine.query_synced(element)?,
             TenantState::Retired => unreachable!("retired state is transient"),
         };
         Ok(frozen + live)

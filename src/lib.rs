@@ -14,7 +14,7 @@
 //! for id in 0..1_000u64 {
 //!     engine.ingest(&StreamElement::without_features(id % 10))?;
 //! }
-//! assert_eq!(engine.query(&StreamElement::without_features(3u64))?, 100.0);
+//! assert_eq!(engine.query_synced(&StreamElement::without_features(3u64))?, 100.0);
 //! # Ok::<(), EngineError>(())
 //! ```
 
@@ -38,9 +38,9 @@ pub mod prelude {
     pub use opthash_datagen::groups::{GroupConfig, GroupDataset};
     pub use opthash_datagen::querylog::{QueryLogConfig, QueryLogDataset};
     pub use opthash_engine::{
-        BackpressurePolicy, EngineConfig, EngineError, EngineStats, FaultEvent, FaultInjector,
-        FaultLog, IngestEngine, IngestMode, RetrainConfig, RetrainStats, Retrainer, SketchBackend,
-        TrainedScheme,
+        BackpressurePolicy, EngineConfig, EngineError, EngineStats, EpochStamp, FaultEvent,
+        FaultInjector, FaultLog, IngestEngine, IngestMode, RetrainConfig, RetrainStats, Retrainer,
+        SketchBackend, SnapshotEstimate, SnapshotReader, TrainedScheme,
     };
     #[cfg(feature = "failpoints")]
     pub use opthash_engine::{FaultAction, FaultPlan};

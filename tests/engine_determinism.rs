@@ -49,7 +49,7 @@ where
             );
             engine.ingest_stream(stream).unwrap();
             for probe in probes(universe) {
-                let sharded = engine.query(&probe).unwrap();
+                let sharded = engine.query_synced(&probe).unwrap();
                 let expected = sequential.query(&probe);
                 assert!(
                     (sharded - expected).abs() < 1e-12,
@@ -107,7 +107,7 @@ fn ingest_batch_accepts_short_slices() {
                     .ingest_batch(&arrivals)
                     .unwrap_or_else(|err| panic!("len {len} ({mode:?}, {policy:?}): {err}"));
                 for probe in (0..len as u64 + 4).map(element) {
-                    let got = engine.query(&probe).unwrap();
+                    let got = engine.query_synced(&probe).unwrap();
                     let expected = SketchBackend::query(&sequential, &probe);
                     assert!(
                         (got - expected).abs() < 1e-12,
@@ -121,6 +121,120 @@ fn ingest_batch_accepts_short_slices() {
             }
         }
     }
+}
+
+/// The SPSC ring swap must not disturb the PR 2 invariant at the queue's
+/// hardest boundaries: depth-1/2/3 rings (physical sizes 1/2/4 after
+/// power-of-two rounding) with single-element batches wrap the ring indices
+/// constantly and collide full-against-empty on every dispatch.
+#[test]
+fn ring_boundary_configs_match_sequential() {
+    let stream = zipf_stream(300, 8_000, 1.1, 50);
+    let mut sequential = CountMinSketch::new(256, 4, 7);
+    for arrival in stream.iter() {
+        sequential.ingest(arrival, 1);
+    }
+    for queue_capacity in [1usize, 2, 3] {
+        for batch_capacity in [1usize, 2, 7] {
+            let mut engine = IngestEngine::new(
+                CountMinSketch::new(256, 4, 7),
+                EngineConfig::with_shards(4)
+                    .batch_capacity(batch_capacity)
+                    .queue_capacity(queue_capacity)
+                    .checkpoint_interval(2),
+            );
+            engine.ingest_stream(&stream).unwrap();
+            for probe in probes(300) {
+                let got = engine.query_synced(&probe).unwrap();
+                let expected = SketchBackend::query(&sequential, &probe);
+                assert!(
+                    (got - expected).abs() < 1e-12,
+                    "queue {queue_capacity} batch {batch_capacity} diverged for {}",
+                    probe.id
+                );
+            }
+            let stats = engine.stats();
+            assert!(stats.conserved());
+            assert_eq!(stats.unaccounted_mass(), 0);
+        }
+    }
+}
+
+/// Cross-thread hammer: tiny rings saturate while snapshot readers pound
+/// the published state from other threads. The readers assert epoch
+/// monotonicity per shard; the main thread then asserts the engine still
+/// answers bit-identically to the sequential replay — concurrency must not
+/// perturb a linear backend's results.
+#[test]
+fn ring_hammer_under_concurrent_readers_matches_sequential() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stream = zipf_stream(500, 30_000, 1.2, 51);
+    let mut sequential = CountMinSketch::new(256, 4, 7);
+    for arrival in stream.iter() {
+        sequential.ingest(arrival, 1);
+    }
+    let mut engine = IngestEngine::new(
+        CountMinSketch::new(256, 4, 7),
+        EngineConfig::with_shards(4)
+            .batch_capacity(16)
+            .queue_capacity(2)
+            .checkpoint_interval(1),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let reader = engine.snapshot_reader();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epochs: Vec<u64> = Vec::new();
+                let mut last_version = 0u64;
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let answer = reader.query(&element(r * 31 + 1));
+                    assert!(answer.estimate >= 0.0);
+                    let stamp = answer.stamp;
+                    assert!(stamp.scheme_version >= last_version, "version regressed");
+                    last_version = stamp.scheme_version;
+                    if last_epochs.is_empty() {
+                        last_epochs = stamp.epoch_per_shard.to_vec();
+                    } else {
+                        for (shard, (&now, &before)) in
+                            stamp.epoch_per_shard.iter().zip(&last_epochs).enumerate()
+                        {
+                            assert!(now >= before, "shard {shard} epoch regressed");
+                        }
+                        last_epochs = stamp.epoch_per_shard.to_vec();
+                    }
+                    iterations += 1;
+                    // Leave the (possibly single) core to the ingest side
+                    // between queries; the test is about interference, not
+                    // about starving the engine of CPU.
+                    std::thread::yield_now();
+                }
+                iterations
+            })
+        })
+        .collect();
+    engine.ingest_stream(&stream).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for handle in readers {
+        let iterations = handle.join().expect("reader thread panicked");
+        assert!(iterations > 0, "readers must have made progress");
+    }
+    for probe in probes(500) {
+        let got = engine.query_synced(&probe).unwrap();
+        let expected = SketchBackend::query(&sequential, &probe);
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "hammered engine diverged for {}",
+            probe.id
+        );
+    }
+    let stats = engine.stats();
+    assert!(stats.conserved());
+    assert_eq!(stats.unaccounted_mass(), 0);
 }
 
 #[test]

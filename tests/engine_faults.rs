@@ -102,7 +102,9 @@ fn assert_bit_identical(
 ) {
     for id in 0..universe + 20 {
         assert_eq!(
-            engine.query(&element(id)).expect("query after recovery"),
+            engine
+                .query_synced(&element(id))
+                .expect("query after recovery"),
             SketchBackend::query(reference, &element(id)),
             "{label}: diverged from sequential reference at id {id}"
         );
@@ -270,7 +272,9 @@ fn checkpoint_panic_poisons_the_shard() {
         .expect_err("poisoned shard must fail the flush");
     assert_eq!(err, EngineError::ShardPoisoned { shard: 0 });
     assert_eq!(
-        engine.query(&element(3)).expect_err("queries must refuse"),
+        engine
+            .query_synced(&element(3))
+            .expect_err("queries must refuse"),
         EngineError::ShardPoisoned { shard: 0 }
     );
     // The poisoning is reported (the dead worker may need one supervision

@@ -80,7 +80,7 @@ fn check_policy_conserves(
     for id in 0..520u64 {
         prop_assert_eq!(
             engine
-                .query(&StreamElement::without_features(id))
+                .query_synced(&StreamElement::without_features(id))
                 .expect("query after clean ingest"),
             SketchBackend::query(&sequential, &StreamElement::without_features(id)),
             "{:?} diverged from sequential replay of admitted updates at id {}",
@@ -334,6 +334,116 @@ proptest! {
         }
     }
 
+    /// Wait-free snapshot reads stay coherent through **arbitrary
+    /// interleavings** of ingest, hot-swap, flush, and snapshot queries,
+    /// under every backpressure policy and ingest mode:
+    ///
+    /// * between operations the stamp's scheme version always equals the
+    ///   engine's — a snapshot never observes a torn mix of schemes;
+    /// * the stamp never accounts more mass than was admitted since the
+    ///   last swap, and (Count-Min being monotone in its counters) the
+    ///   snapshot estimate never exceeds the sequential replay of the
+    ///   current segment;
+    /// * immediately after a flush the wait-free path agrees with the
+    ///   barrier path *exactly*, and the stamp accounts for the whole
+    ///   segment;
+    /// * interleaved snapshot reads perturb nothing: the ledger still
+    ///   balances and no admitted mass goes unaccounted.
+    #[test]
+    fn snapshot_reads_stay_coherent_through_arbitrary_interleavings(
+        ups in zipfish_updates(300),
+        shards in 1usize..5,
+        batch in 1usize..16,
+        policy_pick in 0usize..3,
+        swap_gap in 9usize..50,
+        flush_gap in 5usize..23,
+        inline in 0usize..2,
+    ) {
+        let policy = [
+            BackpressurePolicy::Block,
+            BackpressurePolicy::Reject,
+            BackpressurePolicy::DegradeAggregate,
+        ][policy_pick];
+        let mode = if inline == 1 { IngestMode::Inline } else { IngestMode::Workers };
+        let base = CountMinSketch::new(128, 4, 11);
+        let mut engine = IngestEngine::new(
+            base.clone(),
+            EngineConfig::with_shards(shards)
+                .batch_capacity(batch)
+                .queue_capacity(2)
+                .backpressure(policy)
+                .mode(mode),
+        );
+        let reader = engine.snapshot_reader();
+        let probes: [u64; 5] = [0, 1, 7, 13, 101];
+        // Sequential replay of the updates admitted since the last swap.
+        let mut segment = base.clone();
+        let mut segment_mass = 0u64;
+        for (i, &(id, count)) in ups.iter().enumerate() {
+            match engine.ingest_weighted(&StreamElement::without_features(id), count) {
+                Ok(()) => {
+                    segment.ingest(&StreamElement::without_features(id), count);
+                    segment_mass += count;
+                }
+                Err(EngineError::Overloaded { .. }) => {}
+                Err(other) => return Err(format!("unexpected error: {other}")),
+            }
+            // A snapshot between any two operations: one coherent scheme,
+            // bounded mass, bounded estimates.
+            let answer = reader.query(&StreamElement::without_features(id));
+            prop_assert_eq!(
+                answer.stamp.scheme_version,
+                engine.scheme_version(),
+                "snapshot observed a scheme the engine is not on"
+            );
+            prop_assert!(
+                answer.stamp.mass_accounted <= segment_mass,
+                "stamp accounts {} of only {} admitted units this segment",
+                answer.stamp.mass_accounted, segment_mass
+            );
+            prop_assert!(
+                answer.estimate
+                    <= SketchBackend::query(&segment, &StreamElement::without_features(id)),
+                "a partial snapshot over-estimated beyond the full segment replay"
+            );
+            if (i + 1) % flush_gap == 0 {
+                engine.flush().expect("interleaved flush");
+                for &p in &probes {
+                    let probe = StreamElement::without_features(p);
+                    prop_assert_eq!(
+                        engine.query(&probe).estimate,
+                        engine.query_synced(&probe).expect("synced query"),
+                        "read paths disagree after a flush at op {}", i
+                    );
+                }
+                prop_assert_eq!(engine.snapshot_stamp().mass_accounted, segment_mass);
+            }
+            if (i + 1) % swap_gap == 0 {
+                engine.swap_backend(base.clone()).expect("hot swap");
+                segment = base.clone();
+                segment_mass = 0;
+                let stamp = engine.snapshot_stamp();
+                prop_assert_eq!(stamp.scheme_version, engine.scheme_version());
+                prop_assert_eq!(
+                    stamp.mass_accounted, 0,
+                    "a fresh scheme starts with nothing accounted"
+                );
+            }
+        }
+        engine.flush().expect("final flush");
+        let stats = engine.stats();
+        prop_assert!(stats.conserved(), "ledger must balance under {policy:?}");
+        prop_assert_eq!(stats.unaccounted_mass(), 0);
+        for &p in &probes {
+            let probe = StreamElement::without_features(p);
+            prop_assert_eq!(
+                engine.query(&probe).estimate,
+                SketchBackend::query(&segment, &probe),
+                "final snapshot diverged from the segment replay at id {}", p
+            );
+        }
+    }
+
     /// Misra-Gries is order-dependent, so sharded results may differ from
     /// sequential ones — but the merged summary must keep the deterministic
     /// deficit bound on the true frequencies.
@@ -419,7 +529,7 @@ mod under_injected_panics {
             apply(&mut sequential, &admitted);
             for id in 0..520u64 {
                 prop_assert_eq!(
-                    engine.query(&StreamElement::without_features(id)).unwrap(),
+                    engine.query_synced(&StreamElement::without_features(id)).unwrap(),
                     SketchBackend::query(&sequential, &StreamElement::without_features(id))
                 );
             }

@@ -154,7 +154,7 @@ fn check_swap_is_bit_safe(mode: IngestMode) {
         engine.ingest(element).expect("phase-1 ingest");
     }
     let probe = StreamElement::without_features(7u64);
-    let before = engine.query(&probe).expect("query before swap");
+    let before = engine.query_synced(&probe).expect("query before swap");
 
     // Swap mid-stream: no panic, no stall, version bump, zero unaccounted.
     let retired = engine.swap_backend(scheme_b.clone()).expect("hot swap");
@@ -189,7 +189,7 @@ fn check_swap_is_bit_safe(mode: IngestMode) {
     for id in 0..200u64 {
         let e = StreamElement::without_features(id);
         assert_eq!(
-            engine.query(&e).expect("query after swap"),
+            engine.query_synced(&e).expect("query after swap"),
             SketchBackend::query(&reference_b, &e),
             "post-swap engine diverged from the fresh scheme at id {id} ({mode:?})"
         );
